@@ -1,0 +1,23 @@
+"""Shared benchmark-harness utilities.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+computes the same rows/series the paper reports, prints them (visible
+with ``pytest -s``) and writes them to ``benchmarks/out/<name>.txt`` so
+results survive the run.  Absolute numbers come from the simulator and
+need not match the paper's testbed; the *shape* — orderings, rough
+factors, crossovers — is asserted where the paper states one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,58 @@
+"""Ablation: section 4.5 GPU optimisations (kernel fusion, warp shuffle).
+
+Quantifies each optimisation's contribution to compression throughput
+and to end-to-end training speedup, using the gpusim pipeline ablations.
+"""
+
+from benchmarks._common import emit
+from repro.distributed import PLATFORM1
+from repro.gpusim import PIPELINES
+from repro.kfac_dist import CompressionSpec, KfacIterationModel, MODEL_TIMING_PROFILES
+from repro.models.catalogs import resnet50_catalog
+from repro.util.tables import format_table
+
+SIZES_MB = (10, 60, 120)
+
+
+def run_experiment():
+    base = PIPELINES["compso-cuda"]
+    variants = {
+        "fused + warp shuffle (COMPSO)": base,
+        "no kernel fusion": base.without_fusion(),
+        "no warp shuffle": base.without_warp_shuffle(),
+        "neither": base.without_fusion().without_warp_shuffle(),
+    }
+    tput_rows = [
+        [name, *[p.throughput(mb * 1e6) for mb in SIZES_MB]]
+        for name, p in variants.items()
+    ]
+    m = KfacIterationModel(
+        resnet50_catalog(), PLATFORM1, 16, profile=MODEL_TIMING_PROFILES["resnet50"]
+    )
+    e2e_rows = [
+        [name, m.end_to_end_speedup(CompressionSpec(22.0, p, 4))]
+        for name, p in variants.items()
+    ]
+    return tput_rows, e2e_rows
+
+
+def test_ablation_gpu_optimisations(benchmark):
+    tput_rows, e2e_rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    out = format_table(
+        ["variant", *[f"{mb}MB GB/s" for mb in SIZES_MB]],
+        tput_rows,
+        title="Ablation — GPU optimisations: compression throughput",
+        floatfmt=".1f",
+    )
+    out += "\n\n" + format_table(
+        ["variant", "end-to-end speedup"],
+        e2e_rows,
+        title="Ablation — GPU optimisations: ResNet-50 end-to-end (P1, 16 nodes)",
+    )
+    emit("ablation_fusion", out)
+    tput = {r[0]: r[-1] for r in tput_rows}
+    full = tput["fused + warp shuffle (COMPSO)"]
+    assert full > tput["no kernel fusion"] > tput["neither"]
+    assert full > tput["no warp shuffle"]
+    e2e = {r[0]: r[1] for r in e2e_rows}
+    assert e2e["fused + warp shuffle (COMPSO)"] >= e2e["neither"]

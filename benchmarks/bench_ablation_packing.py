@@ -1,0 +1,81 @@
+"""Ablation: variable-width bit packing vs fixed 8-bit codes.
+
+Section 4.3's example: an error bound of 1E-2 needs only ~100
+quantisation bins, i.e. a 7-bit representation; packing 7-bit groups
+into bytes instead of using QSGD's fixed 256-bin/8-bit format yields
+~14% higher ratio.  We reproduce the arithmetic exactly on the packed
+stream (8/7 = +14%) and show how much of it the entropy encoder retains,
+plus the full-pipeline comparison against QSGD at matched accuracy.
+"""
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro.compression import QsgdCompressor
+from repro.compression.quantize import ErrorBoundedQuantizer
+from repro.core.compso import CompsoCompressor
+from repro.encoders import get_encoder
+from repro.util.bitpack import pack_uints, required_width
+from repro.util.seeding import spawn_rng
+from repro.util.tables import format_table
+
+#: SR step = eb, so eb 2E-2 over a [-1, 1] normalised range gives ~100
+#: bins — the paper's 7-bit example.
+EB = 2e-2
+
+
+def _payload(seed, n=400_000):
+    rng = spawn_rng(seed)
+    small = rng.standard_normal(n) * 1e-4
+    big = rng.standard_normal(n) * np.exp(rng.standard_normal(n)) * 5e-2
+    return np.where(rng.random(n) < 0.12, big, small).astype(np.float32)
+
+
+def run_experiment():
+    x = _payload(5)
+    enc = get_encoder("ans")
+    qt = ErrorBoundedQuantizer(EB, "sr", seed=0).quantize(x)
+    shifted = (qt.codes - qt.codes.min()).astype(np.uint64)
+    minimal = required_width(int(shifted.max()))
+    rows = []
+    for width, label in [
+        (minimal, f"minimal ({minimal}-bit, paper arithmetic)"),
+        (8, "byte-aligned 8-bit (COMPSO)"),
+        (16, "fixed 16-bit"),
+    ]:
+        packed = pack_uints(shifted, width)
+        coded = enc.encode(packed)
+        rows.append([label, width, len(packed), len(coded)])
+    compso_cr = CompsoCompressor(0.0, EB, seed=0).ratio(x)
+    qsgd_cr = QsgdCompressor(8, seed=0).ratio(x)
+    return rows, minimal, compso_cr, qsgd_cr
+
+
+def test_ablation_variable_width_packing(benchmark):
+    rows, minimal, compso_cr, qsgd_cr = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    packed = {r[1]: r[2] for r in rows}
+    coded = {r[1]: r[3] for r in rows}
+    packed_gain = packed[8] / packed[minimal] - 1
+    out = format_table(
+        ["packing", "bits", "packed bytes", "ANS-coded bytes"],
+        rows,
+        title=f"Ablation — code packing width for SR codes (eb {EB:g})",
+    )
+    out += (
+        f"\n\npacked-stream gain from {minimal}-bit packing: +{packed_gain * 100:.0f}% "
+        "(paper section 4.3: ~+14%), but misaligned packing defeats the"
+        "\nbyte-wise entropy coder — COMPSO therefore byte-aligns and lets ANS"
+        "\nrecover the sub-byte entropy, which beats both alternatives:"
+        f"\n  coded bytes: minimal={coded[minimal]}, byte-aligned={coded[8]}, 16-bit={coded[16]}"
+        f"\nfull pipeline at matched accuracy: COMPSO(SR-only) CR={compso_cr:.2f} "
+        f"vs QSGD-8bit CR={qsgd_cr:.2f}"
+    )
+    emit("ablation_packing", out)
+    assert minimal <= 7
+    # The paper's arithmetic on the packed stream: 8/minimal - 1 >= 14%.
+    assert packed_gain == 8 / minimal - 1
+    assert packed_gain >= 0.14 - 1e-9
+    # The entropy-coded byte-aligned stream beats everything else.
+    assert coded[8] < coded[minimal]
+    assert coded[8] < coded[16]
+    assert compso_cr > qsgd_cr

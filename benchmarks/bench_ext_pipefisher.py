@@ -1,0 +1,95 @@
+"""Extension bench: data-parallel KAISA vs PipeFisher (paper section 6).
+
+The paper argues pipeline-parallel K-FAC (PipeFisher) is obsolete on
+large-memory GPUs.  This bench makes both halves quantitative on
+BERT-large:
+
+1. **Memory** — PipeFisher's reason to exist: a pipeline stage holds
+   ~1/S of the model + K-FAC state and fits a 16 GB GPU, while a full
+   data-parallel replica does not (it needs the A100's 40 GB).
+2. **Time** — at equal GPU counts, deepening the pipeline grows the 1F1B
+   bubble fraction and drags the iteration, while data parallelism keeps
+   scaling; with COMPSO attached, data parallel wins outright at scale.
+"""
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro.distributed import PLATFORM1
+from repro.kfac_dist import (
+    CompressionSpec,
+    KfacIterationModel,
+    MODEL_TIMING_PROFILES,
+    PipeFisherModel,
+)
+from repro.kfac_dist.memory import estimate_kfac_memory, fits_on
+from repro.models.catalogs import bert_large_catalog
+from repro.util.tables import format_table
+
+STAGE_COUNTS = (4, 8, 16)
+MICROBATCHES = 8
+
+
+def run_experiment():
+    catalog = bert_large_catalog()
+    prof = MODEL_TIMING_PROFILES["bert-large"]
+    rows = []
+    for stages in STAGE_COUNTS:
+        pf = PipeFisherModel(
+            catalog, PLATFORM1, stages=stages, microbatches=MICROBATCHES, profile=prof
+        )
+        bd = pf.breakdown()
+        nodes = max(stages // PLATFORM1.gpus_per_node, 1)
+        dp = KfacIterationModel(catalog, PLATFORM1, nodes, profile=prof)
+        dp_time = dp.breakdown().total
+        dp_compso = dp.breakdown(CompressionSpec.compso(22.0)).total
+        bubble_frac = bd.bubble / (bd.stage_compute + bd.bubble)
+        rows.append(
+            [
+                stages,
+                bubble_frac * 100,
+                bd.total * 1e3,
+                dp_time * 1e3,
+                dp_compso * 1e3,
+            ]
+        )
+    # Memory half of the argument.
+    full = estimate_kfac_memory(catalog, per_gpu_batch=16)
+    stage_frac = PipeFisherModel(
+        catalog, PLATFORM1, stages=4, microbatches=MICROBATCHES, profile=prof
+    ).per_stage_memory_fraction()
+    mem = {
+        "full_replica_gb": full.total / 1e9,
+        "stage_fraction": stage_frac,
+        "stage_gb": full.total * stage_frac / 1e9,
+        "replica_fits_a100": fits_on(full, "a100-40gb"),
+        "replica_fits_p100": fits_on(full, "p100-16gb"),
+    }
+    return rows, mem
+
+
+def test_ext_pipefisher(benchmark):
+    rows, mem = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    out = format_table(
+        ["stages/GPUs", "bubble %", "PipeFisher ms", "DP-KAISA ms", "DP+COMPSO ms"],
+        rows,
+        title=f"PipeFisher vs data parallel (BERT-large, {MICROBATCHES} microbatches, equal GPUs)",
+        floatfmt=".1f",
+    )
+    out += (
+        f"\n\nmemory: full replica {mem['full_replica_gb']:.1f} GB "
+        f"(fits A100-40: {mem['replica_fits_a100']}, fits P100-16: {mem['replica_fits_p100']}); "
+        f"a 4-stage slice holds ~{mem['stage_fraction'] * 100:.0f}% "
+        f"(~{mem['stage_gb']:.1f} GB) and fits a 16 GB GPU — PipeFisher's "
+        "motivation, obsolete once 40 GB GPUs fit the replica."
+    )
+    emit("ext_pipefisher", out)
+    # Memory argument reproduced.
+    assert mem["replica_fits_a100"] and not mem["replica_fits_p100"]
+    assert mem["stage_gb"] < 16.0
+    # Bubble fraction grows with pipeline depth.
+    bubbles = [r[1] for r in rows]
+    assert bubbles[0] < bubbles[-1]
+    # At scale, data parallel with COMPSO beats the pipeline.
+    deepest = rows[-1]
+    assert deepest[4] < deepest[2]

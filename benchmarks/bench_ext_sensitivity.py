@@ -1,0 +1,91 @@
+"""Extension bench: performance-model sensitivity analysis.
+
+Section 4.1 claims the performance model "helps design future
+compressors for distributed training communication on various systems".
+This bench exercises that: sweep (a) network bandwidth and (b) compressor
+throughput (A100 vs H100, fused vs PyTorch pipelines) and report where
+compression stops paying off — the design frontier a compressor author
+would consult.
+"""
+
+import numpy as np
+
+from benchmarks._common import emit
+from repro.distributed import SLINGSHOT10, NetworkSpec, Platform
+from repro.gpusim import A100, H100, PIPELINES
+from repro.kfac_dist import CompressionSpec, KfacIterationModel, MODEL_TIMING_PROFILES
+from repro.models.catalogs import bert_large_catalog
+from repro.util.tables import format_table
+
+#: Fabric sweep: 50 to 1600 Gb/s.
+BANDWIDTHS_GBPS = (50, 100, 200, 400, 800, 1600)
+
+
+def _platform(gbps: float) -> Platform:
+    net = NetworkSpec(
+        f"fabric-{gbps}g",
+        inter_bw=gbps * 1e9 / 8,
+        inter_lat=4e-6,
+        intra_bw=300e9,
+        intra_lat=1.5e-6,
+    )
+    return Platform(f"sweep-{gbps}", max_nodes=64, gpus_per_node=4, network=net)
+
+
+def run_experiment():
+    catalog = bert_large_catalog()
+    prof = MODEL_TIMING_PROFILES["bert-large"]
+    spec_fast = CompressionSpec(22.0, PIPELINES["compso-cuda"], 4)
+    spec_slow = CompressionSpec(22.0, PIPELINES["cocktail-pytorch"], 4)
+    bw_rows = []
+    for gbps in BANDWIDTHS_GBPS:
+        m = KfacIterationModel(catalog, _platform(gbps), 16, profile=prof)
+        bw_rows.append(
+            [
+                gbps,
+                m.end_to_end_speedup(spec_fast),
+                m.end_to_end_speedup(spec_slow),
+                m.breakdown().fractions()["kfac_allgather"] * 100,
+            ]
+        )
+    # Device sweep: a faster GPU shrinks compute, raising the comm share,
+    # and speeds the compressor itself.
+    dev_rows = []
+    for dev in (A100, H100):
+        m = KfacIterationModel(
+            catalog, _platform(100), 16, profile=prof, device=dev
+        )
+        dev_rows.append(
+            [
+                dev.name,
+                PIPELINES["compso-cuda"].throughput(60e6, dev),
+                m.end_to_end_speedup(spec_fast),
+            ]
+        )
+    return bw_rows, dev_rows
+
+
+def test_ext_sensitivity(benchmark):
+    bw_rows, dev_rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    out = format_table(
+        ["fabric Gb/s", "e2e speedup (COMPSO)", "e2e (PyTorch pipeline)", "allgather % (no comp.)"],
+        bw_rows,
+        title="Sensitivity — network bandwidth sweep (BERT-large, 64 GPUs)",
+    )
+    out += "\n\n" + format_table(
+        ["device", "COMPSO GB/s @60MB", "e2e speedup"],
+        dev_rows,
+        title="Sensitivity — GPU generation (100 Gb/s fabric)",
+    )
+    emit("ext_sensitivity", out)
+    speedups = [r[1] for r in bw_rows]
+    shares = [r[3] for r in bw_rows]
+    # Slower fabrics benefit more; comm share falls as bandwidth rises.
+    assert all(a >= b - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(shares, shares[1:]))
+    # The fused pipeline dominates the PyTorch one at every bandwidth,
+    # and the gap grows as communication stops masking compressor cost.
+    gaps = [r[1] - r[2] for r in bw_rows]
+    assert all(g >= -1e-9 for g in gaps)
+    # Faster GPU -> faster compressor.
+    assert dev_rows[1][1] > dev_rows[0][1]

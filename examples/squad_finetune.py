@@ -1,0 +1,43 @@
+"""Fine-tune the span-QA (SQuAD-style) proxy under gradient compression.
+
+Reproduces Table 1's workflow interactively: fine-tune with distributed
+K-FAC using the staged COMPSO schedule (bounds 4E-3 -> 2E-3) and compare
+exact-match / F1 against the no-compression target.
+
+Run with:  python examples/squad_finetune.py
+"""
+
+from repro.core import AdaptiveCompso, SmoothLrSchedule
+from repro.data import make_squad_data
+from repro.distributed import SimCluster
+from repro.kfac_dist import DistributedKfacTrainer
+from repro.models.squad import SpanQaModel
+from repro.train import SquadTask
+
+ITERS = 60
+
+
+def finetune(compressor, label):
+    task = SquadTask(make_squad_data(600, seq=16, vocab=24, seed=0))
+    model = SpanQaModel(vocab=24, dim=24, n_layers=2, max_seq=16, rng=1)
+    trainer = DistributedKfacTrainer(
+        model, task, SimCluster(1, 4, seed=0), lr=0.1, inv_update_freq=5,
+        compressor=compressor,
+    )
+    history = trainer.train(iterations=ITERS, batch_size=64, eval_every=20)
+    print(f"\n=== {label} ===")
+    for it, (em, f1) in history.metrics:
+        print(f"  iter {it:3d}: EM {em:5.1f}%  F1 {f1:5.1f}%")
+    if compressor is not None:
+        print(f"  mean compression ratio: {trainer.mean_compression_ratio():.1f}x")
+    return history.metrics[-1][1]
+
+
+target_em, target_f1 = finetune(None, "K-FAC (no compression) — the Table 1 target")
+
+# The paper's BERT recipe: four stages, bounds refined 4E-3 -> 2E-3.
+adaptive = AdaptiveCompso(SmoothLrSchedule(ITERS, z=4, alpha=0.5))
+em, f1 = finetune(adaptive, "K-FAC + COMPSO (staged 4E-3 -> 2E-3)")
+
+print(f"\nF1 delta vs target: {f1 - target_f1:+.2f} "
+      f"(paper: COMPSO within ~0.2 of the 90.44 target)")

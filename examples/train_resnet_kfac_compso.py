@@ -1,0 +1,60 @@
+"""Distributed K-FAC training with COMPSO on the simulated cluster.
+
+Trains the ResNet-style proxy on synthetic image classification with a
+16-rank simulated A100 cluster, comparing no compression vs COMPSO with
+the adaptive StepLR schedule.  Reports convergence, measured compression
+ratio, and the simulated communication-time savings.
+
+Run with:  python examples/train_resnet_kfac_compso.py
+"""
+
+from repro.core import AdaptiveCompso, StepLrSchedule
+from repro.data import make_image_data
+from repro.distributed import PLATFORM1, SimCluster
+from repro.kfac_dist import DistributedKfacTrainer
+from repro.models import resnet_proxy
+from repro.optim import StepLr
+from repro.train import ClassificationTask
+
+ITERS = 30
+LR_DROP = 15
+
+
+def run(compressor, label):
+    data = make_image_data(800, n_classes=8, size=8, noise=0.8, seed=0)
+    task = ClassificationTask(data)
+    cluster = SimCluster(4, platform=PLATFORM1, seed=0)  # 16 ranks
+    model = resnet_proxy(n_classes=8, channels=8, rng=3)
+    trainer = DistributedKfacTrainer(
+        model,
+        task,
+        cluster,
+        lr=0.05,
+        inv_update_freq=5,
+        lr_schedule=StepLr(0.05, [LR_DROP], gamma=0.1),
+        compressor=compressor,
+    )
+    history = trainer.train(iterations=ITERS, batch_size=64, eval_every=10)
+    comm = cluster.breakdown()
+    print(f"\n=== {label} ===")
+    print(f"loss: {history.losses[0]:.3f} -> {history.losses[-1]:.4f}")
+    for it, acc in history.metrics:
+        print(f"  iter {it:3d}: accuracy {acc:.1f}%")
+    if compressor is not None:
+        print(f"mean compression ratio: {trainer.mean_compression_ratio():.1f}x")
+    print(f"simulated comm time: allgather {comm['kfac_allgather'] * 1e3:.2f} ms, "
+          f"factor allreduce {comm['kfac_allreduce'] * 1e3:.2f} ms")
+    return comm["kfac_allgather"]
+
+
+baseline_allgather = run(None, "K-FAC, no compression")
+compso_allgather = run(
+    AdaptiveCompso(StepLrSchedule(LR_DROP)), "K-FAC + COMPSO (adaptive)"
+)
+print(f"\nallgather time reduction: {baseline_allgather / compso_allgather:.1f}x")
+print(
+    "note: the proxy's layers are tiny (KBs), so wire metadata and latency cap\n"
+    "the measured gain — convergence behaviour is the point of this example.\n"
+    "For communication/speedup at real model scale, see\n"
+    "examples/perf_model_explorer.py and benchmarks/bench_fig07/09."
+)

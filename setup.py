@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+`pip install -e .` requires the `wheel` package for PEP 660 editable
+installs; on offline machines without it, run `python setup.py develop`
+instead (equivalent editable install).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""COMPSO reproduction: gradient compression for distributed second-order
+(K-FAC) training.
+
+Reproduces Sun et al., "COMPSO: Optimizing Gradient Compression for
+Distributed Training with Second-Order Optimizers", PPoPP 2025 — the
+COMPSO compressor plus every substrate it depends on: a NumPy NN stack
+with K-FAC statistics capture, distributed (KAISA-style) K-FAC on a
+simulated multi-GPU cluster, baseline compressors (QSGD, cuSZ-style,
+CocktailSGD), eight lossless encoders, an analytical A100 execution
+model, and the paper's performance model.
+
+Quick start::
+
+    import numpy as np
+    from repro.core import CompsoCompressor
+
+    grad = np.random.default_rng(0).standard_normal(1 << 20).astype(np.float32)
+    compso = CompsoCompressor(eb_f=4e-3, eb_q=4e-3, encoder="ans")
+    blob = compso.compress(grad)
+    restored = compso.decompress(blob)
+    print(grad.nbytes / blob.nbytes)  # compression ratio
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "compression",
+    "encoders",
+    "nn",
+    "models",
+    "optim",
+    "distributed",
+    "kfac_dist",
+    "gpusim",
+    "data",
+    "train",
+    "util",
+]

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — package inventory and available compressors/encoders;
+* ``compress`` — compress a ``.npy`` float32 tensor (or a synthetic
+  demo payload) with a chosen compressor and report ratio/error;
+* ``demo-train`` — a one-minute distributed K-FAC + COMPSO training demo;
+* ``experiments`` — list the paper's tables/figures and their benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = [
+    ("Fig. 1", "distributed K-FAC time breakdown", "bench_fig01_breakdown.py"),
+    ("Fig. 3", "compression ratio vs accuracy", "bench_fig03_cr_accuracy.py"),
+    ("Fig. 5", "RN/SR/P0.5 error distributions", "bench_fig05_error_dist.py"),
+    ("Fig. 6", "convergence under compression", "bench_fig06_convergence.py"),
+    ("Table 1", "SQuAD fine-tuning quality", "bench_table1_squad.py"),
+    ("Fig. 7", "communication speedup", "bench_fig07_comm_speedup.py"),
+    ("Table 2", "lossless encoder comparison", "bench_table2_encoders.py"),
+    ("Fig. 8", "GPU compression throughput", "bench_fig08_gpu_throughput.py"),
+    ("Fig. 9", "end-to-end performance gain", "bench_fig09_end2end.py"),
+    ("Ablations", "adaptive/aggregation/fusion/packing", "bench_ablation_*.py"),
+    ("Sec. 7", "future work: autotune + factor compression", "bench_ext_future_work.py"),
+]
+
+
+def _make_compressor(name: str, seed: int):
+    from repro.compression import CocktailSgdCompressor, QsgdCompressor, SzCompressor
+    from repro.core import CompsoCompressor
+
+    factories = {
+        "compso": lambda: CompsoCompressor(4e-3, 4e-3, seed=seed),
+        "compso-sr": lambda: CompsoCompressor(0.0, 4e-3, seed=seed),
+        "qsgd8": lambda: QsgdCompressor(8, seed=seed),
+        "qsgd4": lambda: QsgdCompressor(4, seed=seed),
+        "sz": lambda: SzCompressor(4e-3),
+        "cocktail": lambda: CocktailSgdCompressor(0.2, 8, seed=seed),
+    }
+    if name not in factories:
+        raise SystemExit(f"unknown compressor {name!r}; choose from {sorted(factories)}")
+    return factories[name]()
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.encoders import list_encoders
+
+    print(f"repro {repro.__version__} — COMPSO reproduction (PPoPP'25)")
+    print(f"subpackages: {', '.join(repro.__all__)}")
+    print(f"encoders: {', '.join(list_encoders())}")
+    print("compressors: compso, compso-sr, qsgd8, qsgd4, sz, cocktail")
+    return 0
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    if args.input:
+        x = np.load(args.input).astype(np.float32)
+    else:
+        rng = np.random.default_rng(args.seed)
+        n = args.size
+        small = rng.standard_normal(n) * 1e-4
+        big = rng.standard_normal(n) * np.exp(rng.standard_normal(n)) * 5e-2
+        x = np.where(rng.random(n) < 0.12, big, small).astype(np.float32)
+        print(f"(no --input given; using a synthetic {n}-element K-FAC-like tensor)")
+    comp = _make_compressor(args.compressor, args.seed)
+    ct = comp.compress(x)
+    restored = comp.decompress(ct)
+    err = float(np.abs(restored - x.ravel().reshape(restored.shape)).max())
+    vmax = float(np.abs(x).max())
+    print(f"compressor     : {comp.name}")
+    print(f"original bytes : {x.nbytes}")
+    print(f"wire bytes     : {ct.nbytes}")
+    print(f"ratio          : {x.nbytes / ct.nbytes:.2f}x")
+    print(f"max abs error  : {err:.3e}  ({err / vmax:.2e} of max magnitude)" if vmax else "")
+    return 0
+
+
+def cmd_demo_train(args: argparse.Namespace) -> int:
+    from repro.core import AdaptiveCompso, StepLrSchedule
+    from repro.data import make_image_data
+    from repro.distributed import SimCluster
+    from repro.kfac_dist import DistributedKfacTrainer
+    from repro.models import resnet_proxy
+    from repro.train import ClassificationTask
+
+    task = ClassificationTask(make_image_data(500, n_classes=5, size=8, noise=0.5, seed=0))
+    trainer = DistributedKfacTrainer(
+        resnet_proxy(n_classes=5, channels=8, rng=3),
+        task,
+        SimCluster(1, args.ranks, seed=0),
+        lr=0.05,
+        inv_update_freq=5,
+        compressor=AdaptiveCompso(StepLrSchedule(args.iterations // 2)),
+    )
+    h = trainer.train(iterations=args.iterations, batch_size=64, eval_every=args.iterations)
+    print(f"ranks={args.ranks} iterations={args.iterations}")
+    print(f"loss {h.losses[0]:.3f} -> {h.losses[-1]:.4f}; accuracy {h.final_metric():.1f}%")
+    print(f"mean compression ratio {trainer.mean_compression_ratio():.2f}x")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    width = max(len(e[0]) for e in _EXPERIMENTS)
+    for tag, desc, bench in _EXPERIMENTS:
+        print(f"{tag.ljust(width)}  {desc:45s} benchmarks/{bench}")
+    print("\nrun: pytest benchmarks/ --benchmark-only   (results in benchmarks/out/)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package inventory").set_defaults(func=cmd_info)
+
+    p = sub.add_parser("compress", help="compress a tensor and report ratio/error")
+    p.add_argument("--input", help=".npy file of float32 values (synthetic demo if omitted)")
+    p.add_argument("--compressor", default="compso")
+    p.add_argument("--size", type=int, default=1 << 20, help="synthetic tensor size")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser("demo-train", help="quick distributed K-FAC + COMPSO demo")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=20)
+    p.set_defaults(func=cmd_demo_train)
+
+    sub.add_parser("experiments", help="list paper artefacts and benches").set_defaults(
+        func=cmd_experiments
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `python -m repro experiments | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

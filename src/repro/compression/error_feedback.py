@@ -1,0 +1,57 @@
+"""Error feedback (EF) wrapper (paper section 6, related work).
+
+EF compensates compression error by carrying the residual
+``original - decompressed`` into the next iteration's gradient (Lim et
+al. 3LC; Gorbunov et al.).  The paper *avoids* EF because the residual
+buffer costs one extra model-sized tensor per worker — a problem for
+large-batch K-FAC training memory budgets — and because COMPSO's
+SR-based design is unbiased and does not need it.
+
+We implement EF as a wrapper so the trade-off is measurable: it repairs
+biased compressors (e.g. Top-k, which silently drops mass) at the cost
+of ``memory_overhead_bytes`` of state per wrapped tensor stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedTensor, GradientCompressor
+
+__all__ = ["ErrorFeedback"]
+
+
+class ErrorFeedback(GradientCompressor):
+    """Wrap a compressor with residual accumulation.
+
+    Each distinct tensor shape+key gets its own residual buffer, so one
+    wrapper instance can serve a whole model's layer stream (pass
+    ``key=layer_index`` to keep streams separate).
+    """
+
+    def __init__(self, inner: GradientCompressor):
+        self.inner = inner
+        self.name = f"ef({inner.name})"
+        self._residuals: dict[object, np.ndarray] = {}
+
+    def compress(self, x: np.ndarray, *, key: object = None) -> CompressedTensor:
+        x = np.asarray(x, dtype=np.float32)
+        residual = self._residuals.get((key, x.shape))
+        corrected = x if residual is None else x + residual
+        ct = self.inner.compress(corrected)
+        decompressed = self.inner.decompress(ct)
+        self._residuals[(key, x.shape)] = corrected - decompressed
+        return ct
+
+    def decompress(self, ct: CompressedTensor) -> np.ndarray:
+        return self.inner.decompress(ct)
+
+    def reset(self) -> None:
+        """Drop all residual state."""
+        self._residuals.clear()
+
+    @property
+    def memory_overhead_bytes(self) -> int:
+        """Bytes of residual state currently held — the cost the paper
+        cites as the reason to avoid EF."""
+        return sum(r.nbytes for r in self._residuals.values())

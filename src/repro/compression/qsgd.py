@@ -1,0 +1,49 @@
+"""QSGD (Alistarh et al., NeurIPS'17): SR quantisation + Elias coding.
+
+The classic first-order gradient compressor used as a baseline throughout
+the paper.  An n-bit budget normalises the tensor to its max magnitude
+(Eq. 3), stochastically rounds (Eq. 4), then codes sign bits as a bitmap
+and magnitudes with Elias gamma.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedTensor, GradientCompressor
+from repro.compression.quantize import BitBudgetQuantizer
+from repro.encoders.elias import elias_gamma_decode, elias_gamma_encode
+from repro.util.bitpack import pack_bitmap, unpack_bitmap
+from repro.util.seeding import spawn_rng
+
+__all__ = ["QsgdCompressor"]
+
+
+class QsgdCompressor(GradientCompressor):
+    """n-bit QSGD with stochastic rounding and Elias-gamma magnitude coding."""
+
+    def __init__(self, bits: int = 8, *, seed: int | np.random.Generator | None = 0):
+        self.bits = bits
+        self.name = f"qsgd-{bits}bit"
+        self._quantizer = BitBudgetQuantizer(bits, "sr", seed=spawn_rng(seed))
+
+    def compress(self, x: np.ndarray) -> CompressedTensor:
+        x = np.asarray(x, dtype=np.float32)
+        qt = self._quantizer.quantize(x)
+        codes = qt.codes
+        signs = codes < 0
+        mags = np.abs(codes).astype(np.uint64)
+        segments = {
+            "signs": pack_bitmap(signs),
+            # Elias gamma requires values >= 1; shift zero up by one.
+            "mags": elias_gamma_encode(mags + 1),
+        }
+        return CompressedTensor(segments, x.shape, meta={"scale": qt.scale})
+
+    def decompress(self, ct: CompressedTensor) -> np.ndarray:
+        n = ct.n_elements
+        mags = elias_gamma_decode(ct.segments["mags"], n).astype(np.int64) - 1
+        signs = unpack_bitmap(ct.segments["signs"], n)
+        codes = np.where(signs, -mags, mags).astype(np.float32)
+        scale = np.float32(ct.meta["scale"])
+        return (codes * scale).reshape(ct.shape)

@@ -1,0 +1,57 @@
+"""Top-k magnitude sparsification (Strom'15 / Ok-topk family baseline).
+
+Keeps the k largest-magnitude entries; positions go into a packed bitmap,
+values stay float32.  Used both standalone and as CocktailSGD's selection
+stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedTensor, GradientCompressor
+from repro.util.bitpack import pack_bitmap, unpack_bitmap
+
+__all__ = ["TopKCompressor", "topk_mask"]
+
+
+def topk_mask(x: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask of the ``k`` largest-|x| entries (ties broken arbitrarily)."""
+    flat = np.abs(np.asarray(x)).ravel()
+    mask = np.zeros(flat.size, dtype=bool)
+    if k <= 0:
+        return mask
+    if k >= flat.size:
+        mask[:] = True
+        return mask
+    idx = np.argpartition(flat, flat.size - k)[flat.size - k :]
+    mask[idx] = True
+    return mask
+
+
+class TopKCompressor(GradientCompressor):
+    """Keep a fixed density of largest-magnitude gradient entries."""
+
+    def __init__(self, density: float = 0.01):
+        if not 0 < density <= 1:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        self.density = density
+        self.name = f"topk-{density:g}"
+
+    def compress(self, x: np.ndarray) -> CompressedTensor:
+        x = np.asarray(x, dtype=np.float32)
+        flat = x.ravel()
+        k = max(1, int(round(self.density * flat.size))) if flat.size else 0
+        mask = topk_mask(flat, k)
+        return CompressedTensor(
+            {"bitmap": pack_bitmap(mask), "values": flat[mask].tobytes()},
+            x.shape,
+            meta={"k": int(mask.sum())},
+        )
+
+    def decompress(self, ct: CompressedTensor) -> np.ndarray:
+        n = ct.n_elements
+        mask = unpack_bitmap(ct.segments["bitmap"], n)
+        out = np.zeros(n, dtype=np.float32)
+        out[mask] = np.frombuffer(ct.segments["values"], dtype=np.float32)
+        return out.reshape(ct.shape)

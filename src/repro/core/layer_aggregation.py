@@ -1,0 +1,38 @@
+"""Layer-wise aggregation (paper section 4.4).
+
+DNN layers have wildly varying K-FAC gradient sizes; compressing each
+tiny layer separately leaves the GPU underutilised (every invocation pays
+kernel-launch and encoder-table overhead).  The aggregator groups ``m``
+consecutive layers per compressor invocation — quantisation stays
+per-layer (ranges must not mix, section 4.5) via
+``CompsoCompressor.compress_many``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["LayerAggregator"]
+
+
+class LayerAggregator:
+    """Group per-layer tensors into aggregates of ``m`` consecutive layers."""
+
+    def __init__(self, m: int):
+        if m < 1:
+            raise ValueError(f"aggregation factor must be >= 1, got {m}")
+        self.m = m
+
+    def groups(self, n_layers: int) -> list[list[int]]:
+        """Index groups [[0..m-1], [m..2m-1], ...] covering all layers."""
+        return [list(range(i, min(i + self.m, n_layers))) for i in range(0, n_layers, self.m)]
+
+    def aggregate(self, tensors: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+        """Partition tensors into aggregation groups."""
+        return [[tensors[i] for i in g] for g in self.groups(len(tensors))]
+
+    def group_bytes(self, sizes: Sequence[int]) -> list[int]:
+        """Total float32 bytes per group for per-layer element counts."""
+        return [sum(4 * sizes[i] for i in g) for g in self.groups(len(sizes))]

@@ -1,0 +1,32 @@
+"""Synthetic dataset generators and batch utilities."""
+
+from repro.data.loaders import batch_indices, shard
+from repro.data.synthetic import (
+    MASK_TOKEN,
+    DetectionDataset,
+    ImageDataset,
+    LmDataset,
+    MlmBatch,
+    SquadDataset,
+    make_detection_data,
+    make_image_data,
+    make_lm_data,
+    make_mlm_batches,
+    make_squad_data,
+)
+
+__all__ = [
+    "ImageDataset",
+    "DetectionDataset",
+    "LmDataset",
+    "MlmBatch",
+    "SquadDataset",
+    "make_image_data",
+    "make_detection_data",
+    "make_lm_data",
+    "make_mlm_batches",
+    "make_squad_data",
+    "MASK_TOKEN",
+    "batch_indices",
+    "shard",
+]

@@ -1,0 +1,31 @@
+"""Batch iteration and data-parallel sharding."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.util.seeding import spawn_rng
+
+__all__ = ["batch_indices", "shard"]
+
+
+def batch_indices(
+    n: int, batch_size: int, *, iterations: int, seed: int = 0
+) -> Iterator[np.ndarray]:
+    """Yield ``iterations`` random index batches of ``batch_size``."""
+    rng = spawn_rng(seed)
+    for _ in range(iterations):
+        yield rng.integers(0, n, batch_size)
+
+
+def shard(indices: np.ndarray, world_size: int) -> list[np.ndarray]:
+    """Split a global batch into per-rank shards (data parallelism).
+
+    The batch must divide evenly — ragged shards would make ranks'
+    gradient averages inconsistent with single-worker training.
+    """
+    if len(indices) % world_size:
+        raise ValueError(f"batch of {len(indices)} not divisible by world size {world_size}")
+    return list(indices.reshape(world_size, -1))

@@ -1,0 +1,46 @@
+"""Simulated multi-GPU cluster substrate.
+
+Real data plane (NumPy arrays move between ranks) + modelled time plane
+(alpha-beta collective costs on Slingshot-10/11 + NVLink fabrics).  See
+DESIGN.md's substitution table for why this preserves the paper's
+communication results.
+"""
+
+from repro.distributed.clock import SimClock
+from repro.distributed.cluster import SimCluster, SimRank
+from repro.distributed.collectives import (
+    COLLECTIVE_COSTS,
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    broadcast_time,
+    hierarchical_allreduce_time,
+    reduce_scatter_time,
+)
+from repro.distributed.network import (
+    PLATFORM1,
+    PLATFORM2,
+    SLINGSHOT10,
+    SLINGSHOT11,
+    NetworkSpec,
+    Platform,
+)
+
+__all__ = [
+    "SimClock",
+    "SimCluster",
+    "SimRank",
+    "NetworkSpec",
+    "Platform",
+    "PLATFORM1",
+    "PLATFORM2",
+    "SLINGSHOT10",
+    "SLINGSHOT11",
+    "allreduce_time",
+    "allgather_time",
+    "broadcast_time",
+    "reduce_scatter_time",
+    "alltoall_time",
+    "hierarchical_allreduce_time",
+    "COLLECTIVE_COSTS",
+]

@@ -1,0 +1,45 @@
+"""Per-rank simulated clocks with named time categories.
+
+Fig. 1's breakdown (KFAC Allgather / KFAC Allreduce / KFAC Computations /
+Forward+Backward / Others) is produced by accumulating simulated seconds
+into these categories as the trainer executes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated clock accumulating time per category."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.categories: dict[str, float] = defaultdict(float)
+
+    def advance(self, seconds: float, category: str = "other") -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self.now += seconds
+        self.categories[category] += seconds
+
+    def sync_to(self, t: float, category: str = "wait") -> None:
+        """Jump forward to ``t`` (barrier wait); no-op if already past it."""
+        if t > self.now:
+            self.categories[category] += t - self.now
+            self.now = t
+
+    def breakdown(self) -> dict[str, float]:
+        """Copy of the per-category time totals."""
+        return dict(self.categories)
+
+    def fraction(self, category: str) -> float:
+        """Share of total accumulated time spent in ``category``."""
+        total = sum(self.categories.values())
+        return self.categories.get(category, 0.0) / total if total > 0 else 0.0
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self.categories.clear()

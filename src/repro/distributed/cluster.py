@@ -1,0 +1,189 @@
+"""In-process simulated GPU cluster.
+
+The data plane is real: collectives move actual NumPy arrays between the
+per-rank slots, so distributed training in this simulator is numerically
+identical to MPI data-parallel training (including the exact bytes a
+compressor puts on the wire).  The time plane is modelled: every
+collective advances all participating ranks' :class:`SimClock`s by the
+alpha-beta cost of the operation, after synchronising them (collectives
+are barriers).
+
+All collectives take *per-rank lists* (index = rank) because ranks
+execute sequentially in one process.  This mirrors mpi4py's buffer
+semantics — ``allreduce(sendbufs) -> recvbufs`` — without real processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.clock import SimClock
+from repro.distributed.collectives import (
+    allgather_time,
+    allreduce_time,
+    broadcast_time,
+    reduce_scatter_time,
+)
+from repro.distributed.network import PLATFORM1, NetworkSpec, Platform
+from repro.util.seeding import rng_for_rank
+
+__all__ = ["SimRank", "SimCluster"]
+
+
+@dataclass
+class SimRank:
+    """One simulated GPU worker."""
+
+    rank: int
+    node: int
+    clock: SimClock
+    rng: np.random.Generator
+
+
+class SimCluster:
+    """A set of simulated ranks sharing a modelled network."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        gpus_per_node: int = 4,
+        *,
+        network: NetworkSpec | None = None,
+        platform: Platform | None = None,
+        seed: int = 0,
+    ):
+        if platform is not None:
+            network = platform.network
+            gpus_per_node = platform.gpus_per_node
+        self.platform = platform
+        self.network = network if network is not None else PLATFORM1.network
+        self.n_nodes = n_nodes
+        self.gpus_per_node = gpus_per_node
+        self.world_size = n_nodes * gpus_per_node
+        if self.world_size < 1:
+            raise ValueError("cluster must have at least one rank")
+        self.ranks = [
+            SimRank(r, r // gpus_per_node, SimClock(), rng_for_rank(seed, r))
+            for r in range(self.world_size)
+        ]
+
+    # -- time plane helpers --------------------------------------------------
+
+    def _barrier_and_advance(self, seconds: float, category: str) -> None:
+        """Synchronise all clocks to the latest rank, then advance together."""
+        t = max(r.clock.now for r in self.ranks)
+        for r in self.ranks:
+            r.clock.sync_to(t)
+            r.clock.advance(seconds, category)
+
+    def advance_all(self, seconds: float, category: str) -> None:
+        """Advance every rank's clock (e.g. perfectly parallel compute)."""
+        for r in self.ranks:
+            r.clock.advance(seconds, category)
+
+    def advance_rank(self, rank: int, seconds: float, category: str) -> None:
+        self.ranks[rank].clock.advance(seconds, category)
+
+    @property
+    def time(self) -> float:
+        """Simulated wall-clock: the slowest rank's time."""
+        return max(r.clock.now for r in self.ranks)
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean per-rank time per category (ranks are near-symmetric)."""
+        out: dict[str, float] = {}
+        for r in self.ranks:
+            for cat, t in r.clock.breakdown().items():
+                out[cat] = out.get(cat, 0.0) + t / self.world_size
+        return out
+
+    def reset_clocks(self) -> None:
+        for r in self.ranks:
+            r.clock.reset()
+
+    # -- data-plane collectives ----------------------------------------------
+
+    def _check(self, arrays: list[np.ndarray]) -> None:
+        if len(arrays) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} per-rank arrays, got {len(arrays)}"
+            )
+
+    def allreduce(
+        self,
+        arrays: list[np.ndarray],
+        *,
+        average: bool = False,
+        category: str = "allreduce",
+        nbytes: float | None = None,
+    ) -> list[np.ndarray]:
+        """Sum (or average) per-rank arrays; every rank gets the result.
+
+        ``nbytes`` overrides the modelled wire size (used when the
+        payload travels compressed, e.g. factor compression).
+        """
+        self._check(arrays)
+        total = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
+        for a in arrays:
+            total += a
+        if average:
+            total /= self.world_size
+        result = total.astype(np.asarray(arrays[0]).dtype)
+        seconds = allreduce_time(
+            self.network,
+            self.world_size,
+            result.nbytes if nbytes is None else nbytes,
+            self.gpus_per_node,
+        )
+        self._barrier_and_advance(seconds, category)
+        return [result.copy() for _ in range(self.world_size)]
+
+    def allgather(
+        self,
+        objects: list[object],
+        *,
+        nbytes_per_rank: float | None = None,
+        category: str = "allgather",
+    ) -> list[list[object]]:
+        """Each rank receives the full list of per-rank objects.
+
+        ``nbytes_per_rank`` overrides the modelled payload size (used when
+        gathering compressed blobs whose wire size differs from the Python
+        object size); defaults to the max ``nbytes`` of NumPy payloads.
+        """
+        self._check(objects)
+        if nbytes_per_rank is None:
+            sizes = [o.nbytes for o in objects if isinstance(o, np.ndarray)]
+            nbytes_per_rank = max(sizes) if sizes else 0.0
+        seconds = allgather_time(
+            self.network, self.world_size, nbytes_per_rank, self.gpus_per_node
+        )
+        self._barrier_and_advance(seconds, category)
+        return [list(objects) for _ in range(self.world_size)]
+
+    def broadcast(
+        self, obj: object, root: int = 0, *, nbytes: float | None = None, category: str = "broadcast"
+    ) -> list[object]:
+        """Send ``obj`` from ``root`` to every rank."""
+        if nbytes is None:
+            nbytes = obj.nbytes if isinstance(obj, np.ndarray) else 0.0
+        seconds = broadcast_time(self.network, self.world_size, nbytes, self.gpus_per_node)
+        self._barrier_and_advance(seconds, category)
+        return [obj for _ in range(self.world_size)]
+
+    def reduce_scatter(
+        self, arrays: list[np.ndarray], *, category: str = "reduce_scatter"
+    ) -> list[np.ndarray]:
+        """Sum per-rank arrays, then scatter equal chunks back."""
+        self._check(arrays)
+        total = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
+        for a in arrays:
+            total += a
+        p = self.world_size
+        flat = total.ravel()
+        chunks = np.array_split(flat, p)
+        seconds = reduce_scatter_time(self.network, p, total.nbytes, self.gpus_per_node)
+        self._barrier_and_advance(seconds, category)
+        return [c.astype(np.asarray(arrays[0]).dtype).copy() for c in chunks]

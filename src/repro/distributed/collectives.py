@@ -1,0 +1,105 @@
+"""Alpha-beta cost models for the MPI collectives distributed K-FAC uses.
+
+Standard algorithm costs (Thakur et al., IJHPCA'05) on the two-level
+network of :mod:`repro.distributed.network`:
+
+* ring **allreduce**: ``2(p-1) alpha + 2 (p-1)/p * n / B``
+* ring **allgather** (n bytes contributed per rank): ``(p-1) alpha + (p-1) n / B``
+* binomial **broadcast**: ``ceil(log2 p) (alpha + n / B)``
+* ring **reduce-scatter**: ``(p-1) alpha + (p-1)/p * n / B``
+
+These feed both the simulated per-rank clocks and the performance model's
+offline lookup table (section 4.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distributed.network import NetworkSpec
+
+__all__ = [
+    "allreduce_time",
+    "allgather_time",
+    "broadcast_time",
+    "reduce_scatter_time",
+    "COLLECTIVE_COSTS",
+]
+
+
+def _params(net: NetworkSpec, p: int, gpus_per_node: int) -> tuple[float, float]:
+    return net.latency(p, gpus_per_node), net.effective_bandwidth(p, gpus_per_node)
+
+
+def allreduce_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int = 4) -> float:
+    """Ring allreduce of ``nbytes`` across ``p`` ranks."""
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    alpha, beta = _params(net, p, gpus_per_node)
+    return 2 * (p - 1) * alpha + 2 * (p - 1) / p * nbytes / beta
+
+
+def allgather_time(net: NetworkSpec, p: int, nbytes_per_rank: float, gpus_per_node: int = 4) -> float:
+    """Ring allgather where each rank contributes ``nbytes_per_rank``."""
+    if p <= 1 or nbytes_per_rank <= 0:
+        return 0.0
+    alpha, beta = _params(net, p, gpus_per_node)
+    return (p - 1) * alpha + (p - 1) * nbytes_per_rank / beta
+
+
+def broadcast_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int = 4) -> float:
+    """Binomial-tree broadcast of ``nbytes`` from one rank to all."""
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    alpha, beta = _params(net, p, gpus_per_node)
+    hops = math.ceil(math.log2(p))
+    return hops * (alpha + nbytes / beta)
+
+
+def reduce_scatter_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int = 4) -> float:
+    """Ring reduce-scatter of ``nbytes`` across ``p`` ranks."""
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    alpha, beta = _params(net, p, gpus_per_node)
+    return (p - 1) * alpha + (p - 1) / p * nbytes / beta
+
+
+def alltoall_time(net: NetworkSpec, p: int, nbytes_per_pair: float, gpus_per_node: int = 4) -> float:
+    """Pairwise-exchange all-to-all; each rank sends ``nbytes_per_pair``
+    to every other rank ((p-1) rounds of alpha + n/beta)."""
+    if p <= 1 or nbytes_per_pair <= 0:
+        return 0.0
+    alpha, beta = _params(net, p, gpus_per_node)
+    return (p - 1) * (alpha + nbytes_per_pair / beta)
+
+
+def hierarchical_allreduce_time(
+    net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int = 4
+) -> float:
+    """Two-level allreduce: NVLink ring within each node, fabric ring
+    across node leaders, NVLink broadcast back.  Beats the flat ring when
+    intra-node bandwidth dominates (the NCCL-style tree/ring hierarchy on
+    the paper's 4-GPU nodes)."""
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    local = min(p, gpus_per_node)
+    nodes = max(1, p // gpus_per_node)
+    # Intra-node reduce-scatter + allgather at NVLink speed.
+    intra = 0.0
+    if local > 1:
+        intra = 2 * ((local - 1) * net.intra_lat + (local - 1) / local * nbytes / net.intra_bw)
+    # Inter-node ring among one leader per node, NIC undivided.
+    inter = 0.0
+    if nodes > 1:
+        inter = 2 * (nodes - 1) * net.inter_lat + 2 * (nodes - 1) / nodes * nbytes / net.inter_bw
+    return intra + inter
+
+
+COLLECTIVE_COSTS = {
+    "allreduce": allreduce_time,
+    "allgather": allgather_time,
+    "broadcast": broadcast_time,
+    "reduce_scatter": reduce_scatter_time,
+    "alltoall": alltoall_time,
+    "hierarchical_allreduce": hierarchical_allreduce_time,
+}

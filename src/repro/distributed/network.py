@@ -1,0 +1,74 @@
+"""Network and platform specifications.
+
+Models the paper's two evaluation platforms (section 5):
+
+* **Platform 1** — 16 nodes x 4 NVLink A100s, Slingshot-10 (100 Gb/s).
+* **Platform 2** — 64 nodes x 4 NVLink A100s, Slingshot-11 (200 Gb/s).
+
+A :class:`NetworkSpec` captures the alpha-beta parameters of both fabric
+levels.  ``effective_bandwidth`` returns the per-rank bandwidth for a
+communicator of ``p`` ranks over ``nodes`` nodes: intra-node traffic runs
+at NVLink speed, while cross-node traffic shares each node's NIC among
+its local ranks — the standard flat-ring bottleneck analysis, and the
+reason the paper's communication fraction grows with GPU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkSpec", "SLINGSHOT10", "SLINGSHOT11", "PLATFORM1", "PLATFORM2", "Platform"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Two-level (NVLink + fabric) alpha-beta network model."""
+
+    name: str
+    #: Inter-node NIC bandwidth per node, bytes/s.
+    inter_bw: float
+    #: Inter-node message latency, seconds.
+    inter_lat: float
+    #: Intra-node (NVLink) bandwidth per GPU pair, bytes/s.
+    intra_bw: float
+    #: Intra-node message latency, seconds.
+    intra_lat: float
+
+    def effective_bandwidth(self, p: int, gpus_per_node: int) -> float:
+        """Per-rank steady-state bandwidth for a p-rank communicator."""
+        if p <= 1:
+            return self.intra_bw
+        if p <= gpus_per_node:
+            return self.intra_bw
+        local = min(p, gpus_per_node)
+        return min(self.intra_bw, self.inter_bw / local)
+
+    def latency(self, p: int, gpus_per_node: int) -> float:
+        """Per-hop latency for a p-rank communicator."""
+        if p <= gpus_per_node:
+            return self.intra_lat
+        return self.inter_lat
+
+
+# 100 Gb/s and 200 Gb/s fabrics; NVLink3 ~ 300 GB/s effective per GPU.
+SLINGSHOT10 = NetworkSpec("slingshot10", inter_bw=100e9 / 8, inter_lat=5e-6, intra_bw=300e9, intra_lat=1.5e-6)
+SLINGSHOT11 = NetworkSpec("slingshot11", inter_bw=200e9 / 8, inter_lat=4e-6, intra_bw=300e9, intra_lat=1.5e-6)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A named cluster configuration from the paper's evaluation."""
+
+    name: str
+    max_nodes: int
+    gpus_per_node: int
+    network: NetworkSpec
+
+    def world_size(self, nodes: int) -> int:
+        if nodes > self.max_nodes:
+            raise ValueError(f"{self.name} has only {self.max_nodes} nodes, asked for {nodes}")
+        return nodes * self.gpus_per_node
+
+
+PLATFORM1 = Platform("platform1", max_nodes=16, gpus_per_node=4, network=SLINGSHOT10)
+PLATFORM2 = Platform("platform2", max_nodes=64, gpus_per_node=4, network=SLINGSHOT11)

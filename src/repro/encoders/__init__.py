@@ -1,0 +1,37 @@
+"""Lossless byte-stream encoders (nvCOMP candidate stand-ins).
+
+COMPSO's compression pipeline ends with a lossless encoder chosen online
+from a candidate vector (paper section 4.4, Table 2).  This subpackage
+provides from-scratch implementations of each encoder family plus stdlib
+codecs where the format is open (see DESIGN.md substitution table).
+"""
+
+from repro.encoders.ans import RansEncoder
+from repro.encoders.base import EncodeError, Encoder
+from repro.encoders.bitcomp import BitcompEncoder
+from repro.encoders.cascaded import CascadedEncoder
+from repro.encoders.deflate import DeflateEncoder, GdeflateEncoder, ZstdLikeEncoder
+from repro.encoders.elias import elias_gamma_decode, elias_gamma_encode
+from repro.encoders.huffman import HuffmanEncoder
+from repro.encoders.lz import Lz4LikeEncoder, SnappyLikeEncoder
+from repro.encoders.registry import ENCODERS, NVCOMP_CANDIDATES, get_encoder, list_encoders
+
+__all__ = [
+    "Encoder",
+    "EncodeError",
+    "RansEncoder",
+    "BitcompEncoder",
+    "CascadedEncoder",
+    "DeflateEncoder",
+    "GdeflateEncoder",
+    "ZstdLikeEncoder",
+    "HuffmanEncoder",
+    "Lz4LikeEncoder",
+    "SnappyLikeEncoder",
+    "elias_gamma_encode",
+    "elias_gamma_decode",
+    "ENCODERS",
+    "NVCOMP_CANDIDATES",
+    "get_encoder",
+    "list_encoders",
+]

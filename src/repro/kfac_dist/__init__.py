@@ -1,0 +1,25 @@
+"""Distributed K-FAC (KAISA-style): real data-plane trainer + timing model."""
+
+from repro.kfac_dist.assignment import assign_layers, eig_cost
+from repro.kfac_dist.timing import (
+    MODEL_TIMING_PROFILES,
+    CompressionSpec,
+    IterationBreakdown,
+    KfacIterationModel,
+    TimingProfile,
+)
+from repro.kfac_dist.pipefisher import PipeFisherModel, PipelineBreakdown
+from repro.kfac_dist.trainer import DistributedKfacTrainer
+
+__all__ = [
+    "DistributedKfacTrainer",
+    "assign_layers",
+    "eig_cost",
+    "KfacIterationModel",
+    "IterationBreakdown",
+    "CompressionSpec",
+    "TimingProfile",
+    "MODEL_TIMING_PROFILES",
+    "PipeFisherModel",
+    "PipelineBreakdown",
+]

@@ -1,0 +1,31 @@
+"""Layer-to-rank work assignment for distributed K-FAC.
+
+Eigendecompositions dominate K-FAC compute, scaling with the cube of the
+factor dimensions, so layers are distributed with greedy longest-
+processing-time bin packing on their estimated eigendecomposition cost —
+the "evenly split across multiple GPUs" of paper section 2.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["assign_layers", "eig_cost"]
+
+
+def eig_cost(in_f: int, out_f: int) -> float:
+    """Relative eigendecomposition cost for one layer's factor pair."""
+    return float(in_f) ** 3 + float(out_f) ** 3
+
+
+def assign_layers(costs: list[float], world_size: int) -> list[int]:
+    """Greedy LPT assignment; returns owner rank per layer."""
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    owners = [0] * len(costs)
+    loads = np.zeros(world_size)
+    for idx in sorted(range(len(costs)), key=lambda i: -costs[i]):
+        r = int(loads.argmin())
+        owners[idx] = r
+        loads[r] += costs[idx]
+    return owners

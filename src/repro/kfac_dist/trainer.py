@@ -1,0 +1,239 @@
+"""KAISA-style distributed K-FAC trainer with pluggable compression.
+
+Implements the five-step workflow of paper Fig. 2 on the simulated
+cluster, with KAISA's refinements (section 2.2):
+
+1. per-rank covariance computation from local shards;
+2. factor **allreduce** (category ``kfac_allreduce``);
+3. **eigendecomposition** of each layer by its assigned owner rank only
+   (greedy LPT assignment, category ``kfac_compute``);
+4. preconditioned-gradient computation on the owner;
+5. eager per-layer **allgather** of preconditioned gradients (category
+   ``kfac_allgather``), optionally *compressed* — this is the payload
+   COMPSO targets.
+
+One shared model evaluates every rank's shard sequentially, which is
+numerically identical to synchronized replicas; compression is applied
+exactly once per layer by its owner, and every rank applies the same
+decompressed update, matching the paper's observation that K-FAC's
+allgather pattern avoids ring-allreduce error propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import GradientCompressor
+from repro.core.adaptive import AdaptiveCompso
+from repro.data.loaders import batch_indices, shard
+from repro.distributed.cluster import SimCluster
+from repro.kfac_dist.assignment import assign_layers, eig_cost
+from repro.optim.kfac import Kfac
+from repro.train.trainer import TrainHistory
+
+__all__ = ["DistributedKfacTrainer"]
+
+
+class DistributedKfacTrainer:
+    """Data-parallel K-FAC training with compressed gradient allgather."""
+
+    def __init__(
+        self,
+        model,
+        task,
+        cluster: SimCluster,
+        *,
+        lr: float = 0.05,
+        lr_schedule=None,
+        damping: float = 1e-2,
+        factor_decay: float = 0.95,
+        inv_update_freq: int = 10,
+        momentum: float = 0.9,
+        kl_clip: float = 1e-3,
+        compressor: GradientCompressor | None = None,
+        factor_compressor: GradientCompressor | None = None,
+    ):
+        self.model = model
+        self.task = task
+        self.cluster = cluster
+        self.lr_schedule = lr_schedule
+        self.compressor = compressor
+        #: Optional compressor for the factor allreduce payload (paper
+        #: section 7 future work; see repro.core.factor_compression).
+        self.factor_compressor = factor_compressor
+        self.factor_ratios: list[float] = []
+        self.kfac = Kfac(
+            model,
+            lr=lr,
+            damping=damping,
+            factor_decay=factor_decay,
+            inv_update_freq=inv_update_freq,
+            momentum=momentum,
+            kl_clip=kl_clip,
+        )
+        costs = [
+            eig_cost(*self._layer_dims(i)) for i in range(len(self.kfac.layers))
+        ]
+        self.owners = assign_layers(costs, cluster.world_size)
+        self.t = 0
+        self.history = TrainHistory()
+        #: Wire bytes actually allgathered (compressed) per iteration.
+        self.bytes_on_wire: list[float] = []
+        self.bytes_original: list[float] = []
+
+    def _layer_dims(self, idx: int) -> tuple[int, int]:
+        layer = self.kfac.layers[idx]
+        out_f = layer.weight.shape[0]
+        in_f = int(np.prod(layer.weight.shape[1:]))
+        if getattr(layer, "bias", None) is not None:
+            in_f += 1
+        return in_f, out_f
+
+    # -- gradient helpers -------------------------------------------------------
+
+    def _other_flat_grad(self) -> np.ndarray:
+        if not self.kfac.other_params:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate([p.grad.ravel() for p in self.kfac.other_params])
+
+    def _set_other_flat_grad(self, flat: np.ndarray) -> None:
+        pos = 0
+        for p in self.kfac.other_params:
+            p.grad = flat[pos : pos + p.size].reshape(p.shape).astype(np.float32)
+            pos += p.size
+
+    def _kfac_flat_grads(self) -> np.ndarray:
+        return np.concatenate(
+            [self.kfac.layers[i].kfac_weight_grad().ravel() for i in range(len(self.kfac.layers))]
+        )
+
+    def _set_kfac_flat_grads(self, flat: np.ndarray) -> None:
+        pos = 0
+        for i in range(len(self.kfac.layers)):
+            in_f, out_f = self._layer_dims(i)
+            size = in_f * out_f
+            self.kfac.layers[i].set_kfac_weight_grad(
+                flat[pos : pos + size].reshape(out_f, in_f).astype(np.float32)
+            )
+            pos += size
+
+    # -- one training iteration ---------------------------------------------------
+
+    def step(self, global_idx: np.ndarray) -> float:
+        world = self.cluster.world_size
+        shards = shard(global_idx, world)
+        losses: list[float] = []
+        per_rank_grads: list[np.ndarray] = []
+        per_rank_other: list[np.ndarray] = []
+        per_rank_factors: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        for idx in shards:
+            self.model.zero_grad()
+            x, y = self.task.batch(idx)
+            out = self.model(x)
+            loss, dl = self.task.loss_and_grad(out, y)
+            self.model.backward(dl)
+            losses.append(loss)
+            per_rank_grads.append(self._kfac_flat_grads())
+            per_rank_other.append(self._other_flat_grad())
+            per_rank_factors.append(
+                [self.kfac.local_factors(i) for i in range(len(self.kfac.layers))]
+            )
+
+        # Step: SGD-gradient allreduce (counted under "others" in Fig. 1).
+        reduced = self.cluster.allreduce(per_rank_grads, average=True, category="grad_allreduce")
+        self._set_kfac_flat_grads(reduced[0])
+        if per_rank_other[0].size:
+            other = self.cluster.allreduce(per_rank_other, average=True, category="grad_allreduce")
+            self._set_other_flat_grad(other[0])
+
+        # Step 2 of Fig. 2: factor allreduce, then running-average fold.
+        # With a factor compressor, each rank's local contribution travels
+        # compressed; SR's unbiasedness makes per-rank errors average out
+        # in the sum (no feedback: factors are re-derived every iteration).
+        for i in range(len(self.kfac.layers)):
+            wire_bytes: float | None = None
+            if self.factor_compressor is not None:
+                original = 0
+                wire = 0
+                decoded = []
+                for f in per_rank_factors:
+                    pair = []
+                    for mat in f[i]:
+                        ct = self.factor_compressor.compress(mat.astype(np.float32))
+                        original += mat.astype(np.float32).nbytes
+                        wire += ct.nbytes
+                        pair.append(self.factor_compressor.decompress(ct).astype(np.float64))
+                    decoded.append(pair)
+                self.factor_ratios.append(original / max(wire, 1))
+                wire_bytes = float(wire) / world
+                a_flat = [np.concatenate([p[0].ravel(), p[1].ravel()]) for p in decoded]
+            else:
+                a_flat = [
+                    np.concatenate([f[i][0].ravel(), f[i][1].ravel()]) for f in per_rank_factors
+                ]
+            red = self.cluster.allreduce(
+                a_flat, average=True, category="kfac_allreduce", nbytes=wire_bytes
+            )[0]
+            da = per_rank_factors[0][i][0].shape[0]
+            A = red[: da * da].reshape(da, da)
+            G = red[da * da :].reshape(per_rank_factors[0][i][1].shape)
+            self.kfac.accumulate_factors(i, A, G)
+
+        # Step 3: owner-rank eigendecomposition on the refresh schedule.
+        refresh = self.t % self.kfac.inv_update_freq == 0
+        for i in range(len(self.kfac.layers)):
+            if refresh or not self.kfac.state[i].ready:
+                self.kfac.compute_eigen(i)
+
+        # Steps 4-5: owners precondition, compress, and eagerly distribute
+        # each layer's result (per-layer broadcast from the owner — the
+        # KAISA communication pattern).
+        wire = 0.0
+        original = 0.0
+        precond: dict[int, np.ndarray] = {}
+        for i in range(len(self.kfac.layers)):
+            pg = self.kfac.precondition(i)
+            original += pg.nbytes
+            if self.compressor is not None:
+                ct = self.compressor.compress(pg)
+                payload_bytes = ct.nbytes
+                received = self.cluster.broadcast(
+                    ct, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
+                )[0]
+                pg = self.compressor.decompress(received)
+            else:
+                payload_bytes = pg.nbytes
+                pg = self.cluster.broadcast(
+                    pg, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
+                )[0]
+            wire += payload_bytes
+            precond[i] = pg
+        self.bytes_on_wire.append(wire)
+        self.bytes_original.append(original)
+        if original > 0:
+            self.history.compression_ratios.append(original / max(wire, 1.0))
+
+        # Update step (identical on every rank).
+        if self.lr_schedule is not None:
+            self.kfac.lr = self.lr_schedule.lr_at(self.t)
+        self.kfac.apply(precond)
+        if isinstance(self.compressor, AdaptiveCompso):
+            self.compressor.step()
+        mean_loss = float(np.mean(losses))
+        self.history.losses.append(mean_loss)
+        self.history.lrs.append(self.kfac.lr)
+        self.t += 1
+        self.kfac.t = self.t
+        return mean_loss
+
+    def train(self, *, iterations: int, batch_size: int, eval_every: int = 0, seed: int = 0):
+        for t, idx in enumerate(
+            batch_indices(self.task.n, batch_size, iterations=iterations, seed=seed)
+        ):
+            self.step(idx)
+            if eval_every and (t + 1) % eval_every == 0:
+                self.history.metrics.append((t + 1, self.task.evaluate(self.model)))
+        return self.history
+
+    def mean_compression_ratio(self) -> float:
+        return self.history.mean_cr()

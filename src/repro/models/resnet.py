@@ -1,0 +1,105 @@
+"""A configurable mini-ResNet (trainable, K-FAC-compatible).
+
+A faithful scaled-down residual network — stem, stages of basic residual
+blocks with stride-2 downsampling and projection shortcuts, global
+average pooling, linear classifier.  The per-stage structure mirrors the
+real ResNet family so layer-size *diversity* (the thing COMPSO's layer
+aggregation reacts to) is realistic, unlike the flat `resnet_proxy`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.container import Module, Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.norm import BatchNorm2d
+from repro.nn.pooling import GlobalAvgPool2d
+from repro.util.seeding import spawn_rng
+
+__all__ = ["BasicBlock", "MiniResNet", "mini_resnet"]
+
+
+class BasicBlock(Module):
+    """Two 3x3 convs with identity or projection shortcut."""
+
+    def __init__(self, cin: int, cout: int, stride: int = 1, *, rng=0):
+        super().__init__()
+        rng = spawn_rng(rng)
+        self.conv1 = Conv2d(cin, cout, 3, stride=stride, padding=1, rng=spawn_rng(rng, 0))
+        self.bn1 = BatchNorm2d(cout)
+        self.act1 = ReLU()
+        self.conv2 = Conv2d(cout, cout, 3, padding=1, rng=spawn_rng(rng, 1))
+        self.bn2 = BatchNorm2d(cout)
+        self.act2 = ReLU()
+        if stride != 1 or cin != cout:
+            self.shortcut: Module | None = Conv2d(
+                cin, cout, 1, stride=stride, rng=spawn_rng(rng, 2)
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.act1(self.bn1(self.conv1(x)))
+        h = self.bn2(self.conv2(h))
+        skip = x if self.shortcut is None else self.shortcut(x)
+        return self.act2(h + skip)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.act2.backward(grad_out)
+        g_main = self.conv2.backward(self.bn2.backward(g))
+        g_main = self.conv1.backward(self.bn1.backward(self.act1.backward(g_main)))
+        g_skip = g if self.shortcut is None else self.shortcut.backward(g)
+        return g_main + g_skip
+
+
+class MiniResNet(Module):
+    """Stem + residual stages + classifier head."""
+
+    def __init__(
+        self,
+        n_classes: int = 10,
+        *,
+        stem_channels: int = 16,
+        stage_blocks: tuple[int, ...] = (1, 1),
+        rng=0,
+    ):
+        super().__init__()
+        rng = spawn_rng(rng)
+        c = stem_channels
+        self.stem = Sequential(
+            Conv2d(3, c, 3, padding=1, rng=spawn_rng(rng, 0)), BatchNorm2d(c), ReLU()
+        )
+        blocks: list[Module] = []
+        cin = c
+        for si, n_blocks in enumerate(stage_blocks):
+            cout = c * (2**si)
+            for b in range(n_blocks):
+                stride = 2 if (b == 0 and si > 0) else 1
+                blocks.append(BasicBlock(cin, cout, stride, rng=spawn_rng(rng, 10 + si * 8 + b)))
+                cin = cout
+        self.blocks = blocks
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(cin, n_classes, rng=spawn_rng(rng, 99))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.stem(x)
+        for blk in self.blocks:
+            h = blk(h)
+        return self.head(self.pool(h))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.pool.backward(self.head.backward(grad_out))
+        for blk in reversed(self.blocks):
+            g = blk.backward(g)
+        return self.stem.backward(g)
+
+
+def mini_resnet(n_classes: int = 10, depth: str = "small", *, rng=0) -> MiniResNet:
+    """Named configurations: 'small' (2 stages) or 'deep' (3 stages)."""
+    stages = {"small": (1, 1), "deep": (2, 2, 2)}
+    if depth not in stages:
+        raise ValueError(f"depth must be one of {sorted(stages)}, got {depth!r}")
+    return MiniResNet(n_classes, stage_blocks=stages[depth], rng=rng)

@@ -1,0 +1,54 @@
+"""Elementwise activation modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["ReLU", "GELU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Module):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class GELU(Module):
+    """tanh-approximation GELU (as used by BERT/GPT)."""
+
+    _C = np.float32(np.sqrt(2.0 / np.pi))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        inner = self._C * (x + 0.044715 * x**3)
+        self._tanh = np.tanh(inner)
+        return 0.5 * x * (1.0 + self._tanh)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x, t = self._x, self._tanh
+        dinner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        dtanh = (1.0 - t**2) * dinner
+        return grad_out * (0.5 * (1.0 + t) + 0.5 * x * dtanh)
+
+
+class Tanh(Module):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._y**2)
+
+
+class Sigmoid(Module):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-x))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._y * (1.0 - self._y)

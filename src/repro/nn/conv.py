@@ -1,0 +1,144 @@
+"""2D convolution via im2col, with K-FAC statistics capture.
+
+K-FAC for conv layers (Grosse & Martens, ICML'16) treats every spatial
+location of every sample as an independent "sample": the activation
+factor is built from im2col patches, the gradient factor from the
+per-location output gradients.  The im2col/col2im pair below is fully
+vectorised with stride tricks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import KfacLayerMixin, Module, Parameter
+from repro.util.seeding import spawn_rng
+
+__all__ = ["Conv2d", "im2col", "col2im"]
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """(N, C, H, W) -> (N, out_h, out_w, C*kh*kw) patch matrix."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    hp, wp = x.shape[2], x.shape[3]
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    shape = (n, c, out_h, out_w, kh, kw)
+    strides = (s0, s1, s2 * stride, s3 * stride, s2, s3)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    # -> (N, out_h, out_w, C, kh, kw) -> flatten patch dims
+    return np.ascontiguousarray(patches.transpose(0, 2, 3, 1, 4, 5)).reshape(
+        n, out_h, out_w, c * kh * kw
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back to (N, C, H, W)."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            x[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols6[
+                :, :, :, :, i, j
+            ]
+    if pad:
+        x = x[:, :, pad : pad + h, pad : pad + w]
+    return x
+
+
+class Conv2d(Module, KfacLayerMixin):
+    """Stride/padding 2D convolution, weight (out_c, in_c, kh, kw)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = 0,
+    ):
+        super().__init__()
+        rng = spawn_rng(rng)
+        k = kernel_size
+        fan_in = in_channels * k * k
+        bound = float(np.sqrt(6.0 / fan_in))
+        self.weight = Parameter(rng.uniform(-bound, bound, (out_channels, in_channels, k, k)))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = k
+        self.stride = stride
+        self.padding = padding
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        k = self.kernel_size
+        cols = im2col(x, k, k, self.stride, self.padding)  # (N, oh, ow, C*k*k)
+        self._cols = cols
+        n, oh, ow, patch = cols.shape
+        w2 = self.weight.data.reshape(self.out_channels, patch)
+        y = cols.reshape(-1, patch) @ w2.T
+        if self.bias is not None:
+            y += self.bias.data
+        return y.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cols = self._cols
+        if cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, oh, ow, patch = cols.shape
+        g = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels).astype(np.float32)
+        flat_cols = cols.reshape(-1, patch)
+        self.weight.grad += (g.T @ flat_cols).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=0)
+        if self.training:
+            # K-FAC conv statistics: spatial locations are samples.  Scale
+            # g by the batch size (not locations) to undo the loss mean.
+            rows = flat_cols
+            if self.bias is not None:
+                rows = np.concatenate(
+                    [flat_cols, np.ones((flat_cols.shape[0], 1), dtype=np.float32)], axis=1
+                )
+            self.last_a = rows
+            self.last_g = g * n
+        w2 = self.weight.data.reshape(self.out_channels, patch)
+        grad_cols = (g @ w2).reshape(n, oh, ow, patch)
+        k = self.kernel_size
+        return col2im(grad_cols, self._x_shape, k, k, self.stride, self.padding)
+
+    # -- K-FAC hooks ----------------------------------------------------------
+
+    def kfac_weight_grad(self) -> np.ndarray:
+        patch = self.in_channels * self.kernel_size**2
+        wgrad = self.weight.grad.reshape(self.out_channels, patch)
+        if self.bias is not None:
+            return np.concatenate([wgrad, self.bias.grad[:, None]], axis=1)
+        return wgrad.copy()
+
+    def set_kfac_weight_grad(self, grad: np.ndarray) -> None:
+        patch = self.in_channels * self.kernel_size**2
+        if self.bias is not None:
+            self.weight.grad = np.ascontiguousarray(grad[:, :-1]).reshape(self.weight.data.shape)
+            self.bias.grad = np.ascontiguousarray(grad[:, -1])
+        else:
+            self.weight.grad = np.ascontiguousarray(grad).reshape(self.weight.data.shape)

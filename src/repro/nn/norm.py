@@ -1,0 +1,85 @@
+"""Normalisation layers (elementwise-affine; not K-FAC-preconditioned,
+matching distributed K-FAC practice of handling norm params with the
+first-order update)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["LayerNorm", "BatchNorm2d"]
+
+
+class LayerNorm(Module):
+    """Normalise over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+        self.eps = eps
+        self.dim = dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        self._inv_std = 1.0 / np.sqrt(var + self.eps)
+        self._xhat = (x - mu) * self._inv_std
+        return self.gamma.data * self._xhat + self.beta.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        xhat, inv_std = self._xhat, self._inv_std
+        d = self.dim
+        reduce_axes = tuple(range(grad_out.ndim - 1))
+        self.gamma.grad += (grad_out * xhat).sum(axis=reduce_axes)
+        self.beta.grad += grad_out.sum(axis=reduce_axes)
+        gx = grad_out * self.gamma.data
+        mean_gx = gx.mean(axis=-1, keepdims=True)
+        mean_gx_xhat = (gx * xhat).mean(axis=-1, keepdims=True)
+        return inv_std * (gx - mean_gx - xhat * mean_gx_xhat)
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation for (N, C, H, W) tensors."""
+
+    def __init__(self, channels: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+        self.eps = eps
+        self.momentum = momentum
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mu = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mu
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mu, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        self._inv_std = inv_std
+        self._xhat = (x - mu[None, :, None, None]) * inv_std[None, :, None, None]
+        self._m = x.shape[0] * x.shape[2] * x.shape[3]
+        return (
+            self.gamma.data[None, :, None, None] * self._xhat
+            + self.beta.data[None, :, None, None]
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        xhat = self._xhat
+        self.gamma.grad += (grad_out * xhat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+        if not self.training:
+            return (
+                grad_out
+                * self.gamma.data[None, :, None, None]
+                * self._inv_std[None, :, None, None]
+            )
+        gx = grad_out * self.gamma.data[None, :, None, None]
+        mean_gx = gx.mean(axis=(0, 2, 3), keepdims=True)
+        mean_gx_xhat = (gx * xhat).mean(axis=(0, 2, 3), keepdims=True)
+        return self._inv_std[None, :, None, None] * (gx - mean_gx - xhat * mean_gx_xhat)

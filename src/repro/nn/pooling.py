@@ -1,0 +1,84 @@
+"""Pooling and reshaping modules for CNN proxies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["AvgPool2d", "MaxPool2d", "GlobalAvgPool2d", "Flatten"]
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling with window ``k``."""
+
+    def __init__(self, k: int):
+        super().__init__()
+        if k <= 0:
+            raise ValueError("pool size must be positive")
+        self.k = k
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial dims ({h},{w}) not divisible by pool {k}")
+        self._in_shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        k = self.k
+        g = grad_out / (k * k)
+        g = np.repeat(np.repeat(g, k, axis=2), k, axis=3)
+        return g
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling with window ``k``."""
+
+    def __init__(self, k: int):
+        super().__init__()
+        self.k = k
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"spatial dims ({h},{w}) not divisible by pool {k}")
+        blocks = x.reshape(n, c, h // k, k, w // k, k)
+        flat = blocks.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h // k, w // k, k * k)
+        self._argmax = flat.argmax(axis=-1)
+        self._in_shape = x.shape
+        return flat.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._in_shape
+        k = self.k
+        oh, ow = h // k, w // k
+        flat = np.zeros((n, c, oh, ow, k * k), dtype=grad_out.dtype)
+        np.put_along_axis(flat, self._argmax[..., None], grad_out[..., None], axis=-1)
+        blocks = flat.reshape(n, c, oh, ow, k, k).transpose(0, 1, 2, 4, 3, 5)
+        return blocks.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2d(Module):
+    """(N, C, H, W) -> (N, C) spatial mean."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._in_shape
+        return np.broadcast_to(grad_out[:, :, None, None] / (h * w), self._in_shape).copy()
+
+
+class Flatten(Module):
+    """Flatten all non-batch dims."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._in_shape)

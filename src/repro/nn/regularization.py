@@ -1,0 +1,71 @@
+"""Regularisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.util.seeding import spawn_rng
+
+__all__ = ["Dropout", "GroupNorm"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval."""
+
+    def __init__(self, p: float = 0.1, *, rng: np.random.Generator | int | None = 0):
+        super().__init__()
+        if not 0 <= p < 1:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = spawn_rng(rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class GroupNorm(Module):
+    """Group normalisation over (N, C, H, W) tensors."""
+
+    def __init__(self, groups: int, channels: int, eps: float = 1e-5):
+        super().__init__()
+        if channels % groups:
+            raise ValueError(f"channels {channels} not divisible by groups {groups}")
+        self.groups = groups
+        self.channels = channels
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        g = self.groups
+        xg = x.reshape(n, g, c // g * h * w)
+        mu = xg.mean(axis=2, keepdims=True)
+        var = xg.var(axis=2, keepdims=True)
+        self._inv_std = 1.0 / np.sqrt(var + self.eps)
+        self._xhat = ((xg - mu) * self._inv_std).reshape(n, c, h, w)
+        return self.gamma.data[None, :, None, None] * self._xhat + self.beta.data[None, :, None, None]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, h, w = grad_out.shape
+        g = self.groups
+        xhat = self._xhat
+        self.gamma.grad += (grad_out * xhat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+        gx = (grad_out * self.gamma.data[None, :, None, None]).reshape(n, g, -1)
+        xh = xhat.reshape(n, g, -1)
+        mean_gx = gx.mean(axis=2, keepdims=True)
+        mean_gx_xh = (gx * xh).mean(axis=2, keepdims=True)
+        dx = self._inv_std * (gx - mean_gx - xh * mean_gx_xh)
+        return dx.reshape(n, c, h, w)

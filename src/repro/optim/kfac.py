@@ -1,0 +1,244 @@
+"""K-FAC second-order optimizer (Martens & Grosse, ICML'15).
+
+Implements the eigendecomposition form of Eq. 2:
+
+    precond = Q_G ( (Q_G^T  dW  Q_A) / (v_G v_A^T + gamma) ) Q_A^T
+
+with Kronecker factors accumulated as running averages (Eq. 1)
+
+    A_l = E[a_{l-1} a_{l-1}^T]      G_l = E[g_l g_l^T]
+
+from the statistics the NN substrate captures on every K-FAC layer.
+
+The API is deliberately granular — ``accumulate_factors`` /
+``compute_eigen`` / ``precondition`` / ``apply`` — because the
+distributed KAISA trainer (``repro.kfac_dist``) interleaves these stages
+with collectives: factors are allreduced, eigendecompositions are
+computed by the layer's assigned rank only, and preconditioned gradients
+are allgathered (optionally compressed by COMPSO).  ``step()`` composes
+the stages for single-worker use.
+
+Parameters not owned by K-FAC layers (norms, embeddings) take the plain
+SGD-with-momentum update, as distributed K-FAC implementations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import KfacLayerMixin, Module, Parameter
+
+__all__ = ["Kfac", "LayerFactors"]
+
+
+@dataclass
+class LayerFactors:
+    """Running Kronecker factors and eigendecomposition for one layer."""
+
+    A: np.ndarray | None = None
+    G: np.ndarray | None = None
+    QA: np.ndarray | None = None
+    vA: np.ndarray | None = None
+    QG: np.ndarray | None = None
+    vG: np.ndarray | None = None
+    n_updates: int = 0
+    momentum_buf: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def ready(self) -> bool:
+        return self.QA is not None
+
+    def factor_bytes(self) -> int:
+        total = 0
+        for m in (self.A, self.G):
+            if m is not None:
+                total += m.nbytes
+        return total
+
+
+class Kfac:
+    """Single-worker K-FAC; also the per-rank engine for distributed K-FAC."""
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 0.1,
+        *,
+        damping: float = 1e-3,
+        factor_decay: float = 0.95,
+        inv_update_freq: int = 10,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        kl_clip: float = 1e-3,
+    ):
+        if not 0 < factor_decay <= 1:
+            raise ValueError("factor_decay must be in (0, 1]")
+        if inv_update_freq < 1:
+            raise ValueError("inv_update_freq must be >= 1")
+        self.model = model
+        self.lr = lr
+        self.damping = damping
+        self.factor_decay = factor_decay
+        self.inv_update_freq = inv_update_freq
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.kl_clip = kl_clip
+        self.layers: list[KfacLayerMixin] = model.kfac_layers()
+        self.state: dict[int, LayerFactors] = {i: LayerFactors() for i in range(len(self.layers))}
+        kfac_params = set()
+        for layer in self.layers:
+            kfac_params.add(id(layer.weight))
+            if getattr(layer, "bias", None) is not None:
+                kfac_params.add(id(layer.bias))
+        self.other_params: list[Parameter] = [
+            p for p in model.parameters() if id(p) not in kfac_params
+        ]
+        self._other_momentum = [np.zeros_like(p.data) for p in self.other_params]
+        self.t = 0
+
+    # -- stage 1: local factor statistics -------------------------------------
+
+    def local_factors(self, idx: int) -> tuple[np.ndarray, np.ndarray]:
+        """This worker's (A, G) contribution for layer ``idx`` (Eq. 1)."""
+        layer = self.layers[idx]
+        if layer.last_a is None or layer.last_g is None:
+            raise RuntimeError("no captured statistics; run forward+backward first")
+        a = layer.last_a.astype(np.float64)
+        g = layer.last_g.astype(np.float64)
+        A = a.T @ a / a.shape[0]
+        G = g.T @ g / g.shape[0]
+        return A, G
+
+    def accumulate_factors(self, idx: int, A: np.ndarray, G: np.ndarray) -> None:
+        """Fold (possibly allreduced) factors into the running averages."""
+        st = self.state[idx]
+        decay = self.factor_decay if st.n_updates > 0 else 0.0
+        if st.A is None:
+            st.A = A.copy()
+            st.G = G.copy()
+        else:
+            st.A = decay * st.A + (1 - decay) * A
+            st.G = decay * st.G + (1 - decay) * G
+        st.n_updates += 1
+
+    # -- stage 2: eigendecomposition -------------------------------------------
+
+    def compute_eigen(self, idx: int) -> None:
+        """Eigendecompose the running factors of layer ``idx``."""
+        st = self.state[idx]
+        if st.A is None or st.G is None:
+            raise RuntimeError(f"factors for layer {idx} not accumulated yet")
+        st.vA, st.QA = np.linalg.eigh(st.A)
+        st.vG, st.QG = np.linalg.eigh(st.G)
+        np.clip(st.vA, 0.0, None, out=st.vA)
+        np.clip(st.vG, 0.0, None, out=st.vG)
+
+    def eigen_flat(self, idx: int) -> np.ndarray:
+        """Serialised eigendecomposition (for broadcast in KAISA mode)."""
+        st = self.state[idx]
+        if not st.ready:
+            raise RuntimeError(f"eigendecomposition for layer {idx} not computed")
+        return np.concatenate([st.QA.ravel(), st.vA, st.QG.ravel(), st.vG]).astype(np.float32)
+
+    def set_eigen_flat(self, idx: int, flat: np.ndarray) -> None:
+        st = self.state[idx]
+        da = st.A.shape[0]
+        dg = st.G.shape[0]
+        pos = 0
+        st.QA = flat[pos : pos + da * da].reshape(da, da).astype(np.float64)
+        pos += da * da
+        st.vA = flat[pos : pos + da].astype(np.float64)
+        pos += da
+        st.QG = flat[pos : pos + dg * dg].reshape(dg, dg).astype(np.float64)
+        pos += dg * dg
+        st.vG = flat[pos : pos + dg].astype(np.float64)
+
+    # -- stage 3: preconditioning ----------------------------------------------
+
+    def precondition(self, idx: int) -> np.ndarray:
+        """Preconditioned (out, in[+1]) gradient for layer ``idx`` (Eq. 2)."""
+        st = self.state[idx]
+        layer = self.layers[idx]
+        grad = layer.kfac_weight_grad().astype(np.float64)
+        if not st.ready:
+            return grad.astype(np.float32)
+        v1 = st.QG.T @ grad @ st.QA
+        v2 = v1 / (np.outer(st.vG, st.vA) + self.damping)
+        out = st.QG @ v2 @ st.QA.T
+        return out.astype(np.float32)
+
+    # -- stage 4: update ---------------------------------------------------------
+
+    def _kl_scale(self, precond: list[np.ndarray], raw: list[np.ndarray]) -> float:
+        """KAISA-style KL clipping: bound lr^2 * <precond, raw>."""
+        if self.kl_clip <= 0:
+            return 1.0
+        vg = sum(float((p * r).sum()) for p, r in zip(precond, raw)) * self.lr**2
+        if vg <= self.kl_clip or vg <= 0:
+            return 1.0
+        return float(np.sqrt(self.kl_clip / vg))
+
+    def apply(self, preconditioned: dict[int, np.ndarray]) -> None:
+        """Write preconditioned grads back and take the momentum-SGD step."""
+        raw = [self.layers[i].kfac_weight_grad() for i in preconditioned]
+        nu = self._kl_scale(list(preconditioned.values()), raw)
+        for idx, pgrad in preconditioned.items():
+            st = self.state[idx]
+            update = nu * pgrad
+            if self.weight_decay:
+                layer = self.layers[idx]
+                wflat = layer.weight.data.reshape(update.shape[0], -1)
+                update = update.copy()
+                update[:, : wflat.shape[1]] += self.weight_decay * wflat
+            if self.momentum:
+                if st.momentum_buf is None:
+                    st.momentum_buf = np.zeros_like(update)
+                st.momentum_buf *= self.momentum
+                st.momentum_buf += update
+                update = st.momentum_buf
+            layer = self.layers[idx]
+            layer.set_kfac_weight_grad(update)
+            layer.weight.data -= self.lr * layer.weight.grad
+            if getattr(layer, "bias", None) is not None:
+                layer.bias.data -= self.lr * layer.bias.grad
+        # First-order update for non-K-FAC parameters.
+        for p, buf in zip(self.other_params, self._other_momentum):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                buf *= self.momentum
+                buf += g
+                g = buf
+            p.data -= self.lr * g
+
+    # -- composed single-worker step ---------------------------------------------
+
+    def step(self) -> None:
+        """Full K-FAC iteration on one worker (no communication)."""
+        for idx in range(len(self.layers)):
+            A, G = self.local_factors(idx)
+            self.accumulate_factors(idx, A, G)
+            if self.t % self.inv_update_freq == 0 or not self.state[idx].ready:
+                self.compute_eigen(idx)
+        precond = {idx: self.precondition(idx) for idx in range(len(self.layers))}
+        self.apply(precond)
+        self.t += 1
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+    # -- sizes used by the communication model -------------------------------------
+
+    def gradient_sizes(self) -> list[int]:
+        """Per-layer preconditioned-gradient element counts (allgather payload)."""
+        sizes = []
+        for layer in self.layers:
+            out_f = layer.weight.shape[0]
+            in_f = int(np.prod(layer.weight.shape[1:]))
+            if getattr(layer, "bias", None) is not None:
+                in_f += 1
+            sizes.append(out_f * in_f)
+        return sizes

@@ -1,0 +1,94 @@
+"""Shampoo (Gupta et al., ICML'18) — the other second-order family the
+paper's introduction cites.
+
+Full-matrix preconditioning per tensor mode: for a weight matrix W with
+gradient G, maintain L += G G^T and R += G^T G and precondition with
+L^{-1/4} G R^{-1/4}.  Like K-FAC it is communication-heavy in
+distributed form, so it is a natural second workload for COMPSO-style
+compression; here it serves as an additional optimizer baseline and as
+evidence the substrate generalises beyond K-FAC.
+
+Vectors (biases, norm parameters) fall back to AdaGrad-style diagonal
+preconditioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Shampoo"]
+
+
+def _inverse_pth_root(mat: np.ndarray, p: int, eps: float) -> np.ndarray:
+    """(mat + eps I)^(-1/p) via eigendecomposition."""
+    d = mat.shape[0]
+    vals, vecs = np.linalg.eigh(mat + eps * np.eye(d))
+    vals = np.clip(vals, eps, None)
+    return (vecs * vals ** (-1.0 / p)) @ vecs.T
+
+
+class Shampoo:
+    """Shampoo with periodic inverse-root refresh and momentum."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.03,
+        *,
+        eps: float = 1e-4,
+        update_freq: int = 5,
+        momentum: float = 0.9,
+        max_dim: int = 1024,
+    ):
+        if update_freq < 1:
+            raise ValueError("update_freq must be >= 1")
+        self.params = list(params)
+        self.lr = lr
+        self.eps = eps
+        self.update_freq = update_freq
+        self.momentum = momentum
+        self.max_dim = max_dim
+        self._state: list[dict] = []
+        for p in self.params:
+            st: dict = {"momentum": np.zeros_like(p.data)}
+            if p.data.ndim == 2 and max(p.data.shape) <= max_dim:
+                m, n = p.data.shape
+                st["L"] = np.zeros((m, m))
+                st["R"] = np.zeros((n, n))
+                st["L_root"] = np.eye(m)
+                st["R_root"] = np.eye(n)
+            else:
+                st["diag"] = np.zeros_like(p.data, dtype=np.float64)
+            self._state.append(st)
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        refresh = self._t % self.update_freq == 0 or self._t == 1
+        for p, st in zip(self.params, self._state):
+            g = p.grad.astype(np.float64)
+            if "L" in st:
+                st["L"] += g @ g.T
+                st["R"] += g.T @ g
+                if refresh:
+                    st["L_root"] = _inverse_pth_root(st["L"], 4, self.eps)
+                    st["R_root"] = _inverse_pth_root(st["R"], 4, self.eps)
+                update = st["L_root"] @ g @ st["R_root"]
+            else:
+                st["diag"] += g * g
+                update = g / (np.sqrt(st["diag"]) + self.eps)
+            # Match SGD's effective scale: normalise to the gradient norm.
+            gn = np.linalg.norm(g)
+            un = np.linalg.norm(update)
+            if un > 0 and gn > 0:
+                update = update * (gn / un)
+            buf = st["momentum"]
+            buf *= self.momentum
+            buf += update.astype(np.float32)
+            p.data -= self.lr * buf
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,25 @@
+"""Training loops, task adapters and evaluation metrics."""
+
+from repro.train.metrics import accuracy, predict_spans, span_em_f1
+from repro.train.tasks import (
+    ClassificationTask,
+    DetectionTask,
+    LmTask,
+    MlmTask,
+    SquadTask,
+)
+from repro.train.trainer import DistributedSgdTrainer, TrainHistory, train_single
+
+__all__ = [
+    "accuracy",
+    "span_em_f1",
+    "predict_spans",
+    "ClassificationTask",
+    "DetectionTask",
+    "LmTask",
+    "MlmTask",
+    "SquadTask",
+    "TrainHistory",
+    "train_single",
+    "DistributedSgdTrainer",
+]

@@ -1,0 +1,47 @@
+"""Evaluation metrics: classification accuracy, detection loss, LM loss,
+and SQuAD-style span F1 / exact match."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "span_em_f1", "predict_spans"]
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in percent."""
+    return float((logits.argmax(axis=-1) == targets).mean() * 100.0)
+
+
+def predict_spans(span_logits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy span decoding: best start, then best end at/after the start."""
+    start_logits = span_logits[..., 0]
+    end_logits = span_logits[..., 1]
+    starts = start_logits.argmax(axis=1)
+    n, t = start_logits.shape
+    pos = np.arange(t)
+    masked_end = np.where(pos[None, :] >= starts[:, None], end_logits, -np.inf)
+    ends = masked_end.argmax(axis=1)
+    return starts, ends
+
+
+def span_em_f1(
+    pred_starts: np.ndarray,
+    pred_ends: np.ndarray,
+    gold_starts: np.ndarray,
+    gold_ends: np.ndarray,
+) -> tuple[float, float]:
+    """SQuAD metrics over position spans: (exact-match %, token F1 %)."""
+    em = float(((pred_starts == gold_starts) & (pred_ends == gold_ends)).mean() * 100.0)
+    f1s = []
+    for ps, pe, gs, ge in zip(pred_starts, pred_ends, gold_starts, gold_ends):
+        lo = max(ps, gs)
+        hi = min(pe, ge)
+        overlap = max(0, hi - lo + 1)
+        if overlap == 0:
+            f1s.append(0.0)
+            continue
+        prec = overlap / (pe - ps + 1)
+        rec = overlap / (ge - gs + 1)
+        f1s.append(2 * prec * rec / (prec + rec))
+    return em, float(np.mean(f1s) * 100.0)

@@ -1,0 +1,168 @@
+"""Task adapters: model output + batch -> (loss, gradient) and eval metrics.
+
+Each of the paper's four workloads maps to a task here; the trainers are
+task-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import (
+    DetectionDataset,
+    ImageDataset,
+    LmDataset,
+    MlmBatch,
+    SquadDataset,
+)
+from repro.nn.losses import smooth_l1_loss, softmax_cross_entropy
+from repro.train.metrics import accuracy, predict_spans, span_em_f1
+
+__all__ = ["ClassificationTask", "DetectionTask", "LmTask", "MlmTask", "SquadTask"]
+
+
+@dataclass
+class ClassificationTask:
+    """ResNet-50 stand-in: image classification, metric = accuracy %."""
+
+    data: ImageDataset
+    metric_name: str = "accuracy"
+
+    def batch(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.data.x[idx], self.data.y[idx]
+
+    def loss_and_grad(self, out: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        return softmax_cross_entropy(out, target)
+
+    def evaluate(self, model, idx: np.ndarray | None = None) -> float:
+        x = self.data.x if idx is None else self.data.x[idx]
+        y = self.data.y if idx is None else self.data.y[idx]
+        model.eval()
+        out = model(x)
+        model.train()
+        return accuracy(out, y)
+
+    @property
+    def n(self) -> int:
+        return len(self.data.y)
+
+
+@dataclass
+class DetectionTask:
+    """Mask R-CNN stand-in: joint classification + box regression.
+
+    Metric is the combined validation loss (the paper also reports Mask
+    R-CNN by loss, Fig. 6b).
+    """
+
+    data: DetectionDataset
+    box_weight: float = 1.0
+    metric_name: str = "loss"
+
+    def batch(self, idx: np.ndarray) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        return self.data.x[idx], (self.data.y_cls[idx], self.data.y_box[idx])
+
+    def loss_and_grad(self, out: np.ndarray, target) -> tuple[float, np.ndarray]:
+        y_cls, y_box = target
+        nc = self.data.n_classes
+        cls_loss, cls_grad = softmax_cross_entropy(out[:, :nc], y_cls)
+        box_loss, box_grad = smooth_l1_loss(out[:, nc:], y_box)
+        grad = np.concatenate([cls_grad, self.box_weight * box_grad], axis=1)
+        return cls_loss + self.box_weight * box_loss, grad
+
+    def evaluate(self, model, idx: np.ndarray | None = None) -> float:
+        sel = slice(None) if idx is None else idx
+        model.eval()
+        out = model(self.data.x[sel])
+        model.train()
+        loss, _ = self.loss_and_grad(out, (self.data.y_cls[sel], self.data.y_box[sel]))
+        return loss
+
+    @property
+    def n(self) -> int:
+        return len(self.data.y_cls)
+
+
+@dataclass
+class LmTask:
+    """GPT stand-in: next-token prediction, metric = validation loss."""
+
+    data: LmDataset
+    metric_name: str = "loss"
+
+    def batch(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.data.inputs[idx], self.data.targets[idx]
+
+    def loss_and_grad(self, out: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        return softmax_cross_entropy(out, target)
+
+    def evaluate(self, model, idx: np.ndarray | None = None) -> float:
+        sel = slice(None) if idx is None else idx
+        model.eval()
+        out = model(self.data.inputs[sel])
+        model.train()
+        loss, _ = self.loss_and_grad(out, self.data.targets[sel])
+        return loss
+
+    @property
+    def n(self) -> int:
+        return self.data.ids.shape[0]
+
+
+@dataclass
+class MlmTask:
+    """BERT pre-training stand-in: masked-LM, metric = validation loss."""
+
+    batch_data: MlmBatch
+    metric_name: str = "loss"
+
+    def batch(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.batch_data.inputs[idx], self.batch_data.targets[idx]
+
+    def loss_and_grad(self, out: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        return softmax_cross_entropy(out, target, ignore_index=0)
+
+    def evaluate(self, model, idx: np.ndarray | None = None) -> float:
+        sel = slice(None) if idx is None else idx
+        model.eval()
+        out = model(self.batch_data.inputs[sel])
+        model.train()
+        loss, _ = self.loss_and_grad(out, self.batch_data.targets[sel])
+        return loss
+
+    @property
+    def n(self) -> int:
+        return self.batch_data.inputs.shape[0]
+
+
+@dataclass
+class SquadTask:
+    """SQuAD fine-tuning stand-in: span prediction, metrics = (EM, F1)."""
+
+    data: SquadDataset
+    metric_name: str = "f1"
+
+    def batch(self, idx: np.ndarray) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        return self.data.ids[idx], (self.data.starts[idx], self.data.ends[idx])
+
+    def loss_and_grad(self, out: np.ndarray, target) -> tuple[float, np.ndarray]:
+        starts, ends = target
+        # out: (N, T, 2) -> start logits over positions and end logits.
+        start_loss, g_start = softmax_cross_entropy(out[..., 0], starts)
+        end_loss, g_end = softmax_cross_entropy(out[..., 1], ends)
+        grad = np.stack([g_start, g_end], axis=-1) * 0.5
+        return 0.5 * (start_loss + end_loss), grad
+
+    def evaluate(self, model, idx: np.ndarray | None = None) -> tuple[float, float]:
+        sel = slice(None) if idx is None else idx
+        model.eval()
+        out = model(self.data.ids[sel])
+        model.train()
+        ps, pe = predict_spans(out)
+        return span_em_f1(ps, pe, self.data.starts[sel], self.data.ends[sel])
+
+    @property
+    def n(self) -> int:
+        return self.data.ids.shape[0]

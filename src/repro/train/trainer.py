@@ -1,0 +1,139 @@
+"""Single-worker and data-parallel SGD training loops.
+
+The distributed K-FAC (KAISA) trainer lives in :mod:`repro.kfac_dist`;
+here are the task-agnostic single-worker loop and the first-order
+data-parallel baseline (SGD/LAMB + optional gradient compression, i.e.
+the paper's "SGD+CocktailSGD" configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.base import GradientCompressor
+from repro.data.loaders import batch_indices, shard
+from repro.distributed.cluster import SimCluster
+
+__all__ = ["TrainHistory", "train_single", "DistributedSgdTrainer"]
+
+
+@dataclass
+class TrainHistory:
+    """Per-iteration training record."""
+
+    losses: list[float] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
+    metrics: list[tuple[int, object]] = field(default_factory=list)
+    compression_ratios: list[float] = field(default_factory=list)
+
+    def final_metric(self) -> object:
+        return self.metrics[-1][1] if self.metrics else None
+
+    def mean_cr(self) -> float:
+        return float(np.mean(self.compression_ratios)) if self.compression_ratios else 1.0
+
+
+def train_single(
+    model,
+    task,
+    optimizer,
+    *,
+    iterations: int,
+    batch_size: int,
+    lr_schedule=None,
+    eval_every: int = 0,
+    seed: int = 0,
+) -> TrainHistory:
+    """Train on one worker; returns the loss/metric history."""
+    history = TrainHistory()
+    for t, idx in enumerate(batch_indices(task.n, batch_size, iterations=iterations, seed=seed)):
+        if lr_schedule is not None:
+            optimizer.lr = lr_schedule.lr_at(t)
+        x, y = task.batch(idx)
+        out = model(x)
+        loss, dl = task.loss_and_grad(out, y)
+        optimizer.zero_grad()
+        model.backward(dl)
+        optimizer.step()
+        history.losses.append(loss)
+        history.lrs.append(optimizer.lr)
+        if eval_every and (t + 1) % eval_every == 0:
+            history.metrics.append((t + 1, task.evaluate(model)))
+    return history
+
+
+class DistributedSgdTrainer:
+    """Data-parallel first-order training on the simulated cluster.
+
+    One shared model evaluates every rank's shard (identical math to
+    per-rank replicas); per-rank gradients are optionally compressed
+    before the (simulated) allreduce, reproducing the SGD+CocktailSGD
+    baseline.
+    """
+
+    def __init__(
+        self,
+        model,
+        task,
+        optimizer,
+        cluster: SimCluster,
+        *,
+        lr_schedule=None,
+        compressor: GradientCompressor | None = None,
+    ):
+        self.model = model
+        self.task = task
+        self.optimizer = optimizer
+        self.cluster = cluster
+        self.lr_schedule = lr_schedule
+        self.compressor = compressor
+        self.t = 0
+        self.history = TrainHistory()
+
+    def _flat_grad(self) -> np.ndarray:
+        return np.concatenate([p.grad.ravel() for p in self.model.parameters()])
+
+    def _set_flat_grad(self, flat: np.ndarray) -> None:
+        pos = 0
+        for p in self.model.parameters():
+            p.grad = flat[pos : pos + p.size].reshape(p.shape).astype(np.float32)
+            pos += p.size
+
+    def step(self, global_idx: np.ndarray) -> float:
+        shards = shard(global_idx, self.cluster.world_size)
+        per_rank_grads: list[np.ndarray] = []
+        losses: list[float] = []
+        for r, idx in enumerate(shards):
+            self.model.zero_grad()
+            x, y = self.task.batch(idx)
+            out = self.model(x)
+            loss, dl = self.task.loss_and_grad(out, y)
+            self.model.backward(dl)
+            g = self._flat_grad()
+            if self.compressor is not None:
+                ct = self.compressor.compress(g)
+                self.history.compression_ratios.append(g.nbytes / ct.nbytes)
+                g = self.compressor.decompress(ct).ravel()
+            per_rank_grads.append(g)
+            losses.append(loss)
+        reduced = self.cluster.allreduce(per_rank_grads, average=True, category="grad_allreduce")
+        self._set_flat_grad(reduced[0])
+        if self.lr_schedule is not None:
+            self.optimizer.lr = self.lr_schedule.lr_at(self.t)
+        self.optimizer.step()
+        mean_loss = float(np.mean(losses))
+        self.history.losses.append(mean_loss)
+        self.history.lrs.append(self.optimizer.lr)
+        self.t += 1
+        return mean_loss
+
+    def train(self, *, iterations: int, batch_size: int, eval_every: int = 0, seed: int = 0):
+        for t, idx in enumerate(
+            batch_indices(self.task.n, batch_size, iterations=iterations, seed=seed)
+        ):
+            self.step(idx)
+            if eval_every and (t + 1) % eval_every == 0:
+                self.history.metrics.append((t + 1, self.task.evaluate(self.model)))
+        return self.history

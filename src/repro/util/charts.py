@@ -1,0 +1,70 @@
+"""ASCII charts for benchmark output.
+
+Renders horizontal bar charts and stacked-percentage bars so the bench
+text files visually resemble the paper's figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["bar_chart", "stacked_bars"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title or ""
+    vmax = max(max(values), 1e-30)
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / vmax * width)), 0)
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+_FILL = "#=+-.~o*x"
+
+
+def stacked_bars(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Stacked 100%-style bars (one row per label) from named series.
+
+    Each row's segments are scaled to the row total; a legend maps fill
+    characters to series names.
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    label_w = max(len(l) for l in labels) if labels else 0
+    lines = [title] if title else []
+    legend = "  ".join(f"{_FILL[i % len(_FILL)]}={n}" for i, n in enumerate(names))
+    lines.append(f"legend: {legend}")
+    for row, label in enumerate(labels):
+        total = sum(series[n][row] for n in names)
+        if total <= 0:
+            lines.append(f"{label.ljust(label_w)} |{' ' * width}|")
+            continue
+        cells: list[str] = []
+        for i, n in enumerate(names):
+            seg = int(round(series[n][row] / total * width))
+            cells.append(_FILL[i % len(_FILL)] * seg)
+        bar = "".join(cells)[:width].ljust(width)
+        lines.append(f"{label.ljust(label_w)} |{bar}|")
+    return "\n".join(lines)

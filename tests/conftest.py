@@ -1,0 +1,63 @@
+"""Shared fixtures: deterministic RNG and gradient-like test tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def kfac_like_gradient(rng) -> np.ndarray:
+    """Float32 tensor resembling K-FAC gradient statistics: ~90% of values
+    are tiny relative to the max (the regime where COMPSO's 4e-3 relative
+    filter reaches the paper's ~22x ratio), plus a heavy-tailed remainder
+    with wide dynamic range."""
+    n = 50_000
+    small = rng.standard_normal(n) * 1e-4
+    big = rng.standard_normal(n) * np.exp(rng.standard_normal(n)) * 5e-2
+    mask = rng.random(n) < 0.12
+    return np.where(mask, big, small).astype(np.float32)
+
+
+@pytest.fixture
+def byte_payloads(rng) -> dict[str, bytes]:
+    """Byte streams of different character for encoder tests."""
+    skewed = rng.geometric(0.25, 30_000).clip(0, 255).astype(np.uint8).tobytes()
+    return {
+        "zeros": bytes(10_000),
+        "skewed": skewed,
+        "uniform": rng.integers(0, 256, 20_000, dtype=np.uint8).tobytes(),
+        "runs": (b"\x00" * 500 + b"\x07" * 300 + b"\xff" * 200) * 20,
+        "short": b"xyz",
+        "empty": b"",
+    }
+
+
+def assert_gradcheck(model, x, loss_fn, *, eps=1e-3, tol=5e-3, n_checks=6, seed=0):
+    """Finite-difference gradient check against the analytic backward."""
+    y = model(x)
+    _, dl = loss_fn(y)
+    model.zero_grad()
+    model(x)
+    model.backward(dl)
+    check_rng = np.random.default_rng(seed)
+    for name, p in model.named_parameters():
+        flat = p.data.ravel()
+        g = p.grad.ravel()
+        idx = check_rng.choice(flat.size, size=min(n_checks, flat.size), replace=False)
+        for i in idx:
+            orig = flat[i]
+            flat[i] = orig + eps
+            lp, _ = loss_fn(model(x))
+            flat[i] = orig - eps
+            lm, _ = loss_fn(model(x))
+            flat[i] = orig
+            num = (lp - lm) / (2 * eps)
+            ana = float(g[i])
+            rel = abs(num - ana) / max(abs(num), abs(ana), 1e-3)
+            assert rel < tol, f"{name}[{i}]: numeric {num:.6f} vs analytic {ana:.6f}"

@@ -1,0 +1,50 @@
+"""Examples must run end to end (smoke level; the fast ones fully)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "ratio" in out
+    assert "True" in out  # error-bound check printed
+
+
+def test_autotune_example_runs():
+    out = _run("autotune_bounds.py")
+    assert "CR" in out
+    assert "budget" in out
+
+
+@pytest.mark.slow
+def test_perf_model_explorer_runs():
+    out = _run("perf_model_explorer.py", timeout=400)
+    assert "end-to-end" in out
+
+
+@pytest.mark.slow
+def test_train_example_runs():
+    out = _run("train_resnet_kfac_compso.py", timeout=500)
+    assert "accuracy" in out
+
+
+@pytest.mark.slow
+def test_squad_example_runs():
+    out = _run("squad_finetune.py", timeout=500)
+    assert "F1" in out

@@ -1,0 +1,158 @@
+"""Mini-ResNet model, Ok-topk sparsifier, and ASCII chart helpers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.compression import OkTopkCompressor
+from repro.core import AdaptiveCompso, StepLrSchedule
+from repro.data import make_image_data
+from repro.models import mini_resnet
+from repro.optim import Sgd
+from repro.train import ClassificationTask, train_single
+from repro.util import bar_chart, stacked_bars
+from tests.conftest import assert_gradcheck
+
+
+class TestMiniResNet:
+    def test_forward_shapes(self, rng):
+        m = mini_resnet(7, "small", rng=1)
+        y = m(rng.standard_normal((3, 3, 8, 8)).astype(np.float32))
+        assert y.shape == (3, 7)
+
+    def test_deep_configuration_downsamples(self, rng):
+        m = mini_resnet(4, "deep", rng=1)
+        y = m(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert y.shape == (2, 4)
+        # Three stages double channels twice: head input = 4x stem.
+        assert m.head.in_features == 64
+
+    def test_projection_shortcuts_created(self):
+        m = mini_resnet(4, "deep", rng=1)
+        projections = [b for b in m.blocks if b.shortcut is not None]
+        assert len(projections) == 2  # first block of stages 2 and 3
+
+    def test_gradcheck(self, rng):
+        m = mini_resnet(3, "small", rng=1)
+        x = rng.standard_normal((2, 3, 8, 8))
+        t = rng.integers(0, 3, 2)
+        assert_gradcheck(m, x, lambda y: nn.softmax_cross_entropy(y, t), tol=2e-2, n_checks=3)
+
+    def test_layer_size_diversity(self):
+        """The property that motivates COMPSO's layer aggregation."""
+        m = mini_resnet(10, "deep", rng=1)
+        sizes = [l.weight.size for l in m.kfac_layers()]
+        assert max(sizes) / min(sizes) > 10
+
+    def test_trains(self):
+        data = make_image_data(300, n_classes=4, size=8, noise=0.4, seed=0)
+        task = ClassificationTask(data)
+        m = mini_resnet(4, "small", rng=1)
+        opt = Sgd(m.parameters(), lr=0.05, momentum=0.9)
+        h = train_single(m, task, opt, iterations=30, batch_size=32, eval_every=30)
+        assert h.final_metric() > 55.0
+
+    def test_unknown_depth(self):
+        with pytest.raises(ValueError):
+            mini_resnet(4, "enormous")
+
+
+class TestOkTopk:
+    def test_density_approximately_hit(self, rng):
+        c = OkTopkCompressor(0.1, seed=0)
+        x = rng.standard_normal(50_000).astype(np.float32)
+        ct = c.compress(x)
+        assert 0.05 < ct.meta["k"] / x.size < 0.2
+
+    def test_threshold_reused_between_reestimates(self, rng):
+        c = OkTopkCompressor(0.1, reestimate_every=10, seed=0)
+        x = rng.standard_normal(10_000).astype(np.float32)
+        c.compress(x)
+        t0 = c._threshold
+        c.compress(x * 1.01)
+        assert c._threshold == t0  # no re-estimate yet
+
+    def test_threshold_reestimated_on_schedule(self, rng):
+        c = OkTopkCompressor(0.1, reestimate_every=2, seed=0)
+        a = rng.standard_normal(10_000).astype(np.float32)
+        b = (rng.standard_normal(10_000) * 100).astype(np.float32)
+        c.compress(a)
+        t0 = c._threshold
+        c.compress(b)  # call 2 -> re-estimate on the new scale
+        c.compress(b)
+        assert c._threshold != t0
+
+    def test_drift_correction_caps_density(self, rng):
+        c = OkTopkCompressor(0.05, reestimate_every=1000, seed=0)
+        small = (rng.standard_normal(20_000) * 0.01).astype(np.float32)
+        c.compress(small)
+        # Now a tensor where nearly everything exceeds the stale threshold.
+        big = (rng.standard_normal(20_000) * 100).astype(np.float32)
+        ct = c.compress(big)
+        assert ct.meta["k"] / big.size < 0.9
+
+    def test_kept_values_exact(self, rng):
+        c = OkTopkCompressor(0.2, seed=0)
+        x = rng.standard_normal(5_000).astype(np.float32)
+        out = c.roundtrip(x)
+        kept = out != 0
+        assert np.array_equal(out[kept], x[kept])
+
+    def test_fixed_bound_contrast_with_compso(self, kfac_like_gradient):
+        """Section 4.3: Ok-topk keeps a fixed selection rule across
+        iterations; COMPSO's adaptive schedule changes its ratio when the
+        LR drops, Ok-topk's stays flat."""
+        ok = OkTopkCompressor(0.1, seed=0)
+        ac = AdaptiveCompso(StepLrSchedule(5))
+        x = kfac_like_gradient
+        ok_ratios, ac_ratios = [], []
+        for t in range(10):
+            ok_ratios.append(x.nbytes / ok.compress(x).nbytes)
+            ac_ratios.append(x.nbytes / ac.compress(x).nbytes)
+            ac.step()
+        assert np.std(ok_ratios) < 0.05 * np.mean(ok_ratios)
+        assert max(ac_ratios) > 1.5 * min(ac_ratios)
+
+    def test_reset(self, rng):
+        c = OkTopkCompressor(0.1, seed=0)
+        c.compress(rng.standard_normal(1000).astype(np.float32))
+        c.reset()
+        assert c._threshold is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OkTopkCompressor(0.0)
+        with pytest.raises(ValueError):
+            OkTopkCompressor(0.1, reestimate_every=0)
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_max(self):
+        out = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_title_and_unit(self):
+        out = bar_chart(["x"], [1.0], title="T", unit="GB/s")
+        assert out.startswith("T\n")
+        assert "GB/s" in out
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_stacked_bars_rows_full_width(self):
+        out = stacked_bars(["r1"], {"x": [30.0], "y": [70.0]}, width=40)
+        bar_line = out.splitlines()[-1]
+        inner = bar_line.split("|")[1]
+        assert len(inner) == 40
+        assert inner.count("#") == 12  # 30% of 40
+
+    def test_stacked_bars_zero_row(self):
+        out = stacked_bars(["r"], {"x": [0.0]}, width=10)
+        assert "|          |" in out
+
+    def test_stacked_bars_series_mismatch(self):
+        with pytest.raises(ValueError):
+            stacked_bars(["a", "b"], {"x": [1.0]})

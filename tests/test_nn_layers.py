@@ -1,0 +1,285 @@
+"""Per-layer gradient checks and K-FAC statistics capture."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.conftest import assert_gradcheck
+
+
+def _ce_loss(targets):
+    return lambda y: nn.softmax_cross_entropy(y, targets)
+
+
+class TestLinear:
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((8, 10))
+        t = rng.integers(0, 4, 8)
+        model = nn.Sequential(nn.Linear(10, 4, rng=1))
+        assert_gradcheck(model, x, _ce_loss(t))
+
+    def test_kfac_stats_shapes(self, rng):
+        lin = nn.Linear(10, 4, rng=1)
+        x = rng.standard_normal((8, 10)).astype(np.float32)
+        y = lin(x)
+        lin.backward(np.ones_like(y))
+        assert lin.last_a.shape == (8, 11)  # bias column appended
+        assert lin.last_g.shape == (8, 4)
+        assert np.allclose(lin.last_a[:, -1], 1.0)
+
+    def test_kfac_g_scaled_by_batch(self, rng):
+        lin = nn.Linear(5, 3, rng=1)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        g = rng.standard_normal((4, 3)).astype(np.float32)
+        lin(x)
+        lin.backward(g)
+        assert np.allclose(lin.last_g, g * 4)
+
+    def test_no_stats_in_eval_mode(self, rng):
+        lin = nn.Linear(5, 3, rng=1)
+        lin.eval()
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        lin(x)
+        lin.backward(np.ones((4, 3), dtype=np.float32))
+        assert lin.last_a is None
+
+    def test_kfac_weight_grad_roundtrip(self, rng):
+        lin = nn.Linear(5, 3, rng=1)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        lin(x)
+        lin.backward(np.ones((4, 3), dtype=np.float32))
+        combined = lin.kfac_weight_grad()
+        assert combined.shape == (3, 6)
+        lin.set_kfac_weight_grad(combined * 2)
+        assert np.allclose(lin.kfac_weight_grad(), combined * 2)
+
+    def test_leading_dims_flattened(self, rng):
+        lin = nn.Linear(6, 2, rng=1)
+        x = rng.standard_normal((3, 5, 6)).astype(np.float32)
+        y = lin(x)
+        assert y.shape == (3, 5, 2)
+        gx = lin.backward(np.ones_like(y))
+        assert gx.shape == x.shape
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(5, 3, bias=False, rng=1)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        lin(x)
+        lin.backward(np.ones((4, 3), dtype=np.float32))
+        assert lin.last_a.shape == (4, 5)
+        assert lin.kfac_weight_grad().shape == (3, 5)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_gradcheck(self, rng, stride, padding):
+        x = rng.standard_normal((3, 2, 8, 8))
+        t = rng.integers(0, 3, 3)
+        model = nn.Sequential(
+            nn.Conv2d(2, 4, 3, stride=stride, padding=padding, rng=1),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(4, 3, rng=2),
+        )
+        assert_gradcheck(model, x, _ce_loss(t))
+
+    def test_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=1)
+        y = conv(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert y.shape == (2, 8, 8, 8)
+
+    def test_matches_direct_convolution(self, rng):
+        conv = nn.Conv2d(1, 1, 3, padding=0, bias=False, rng=1)
+        x = rng.standard_normal((1, 1, 5, 5)).astype(np.float32)
+        y = conv(x)
+        w = conv.weight.data[0, 0]
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = (x[0, 0, i : i + 3, j : j + 3] * w).sum()
+        assert np.allclose(y[0, 0], expected, atol=1e-5)
+
+    def test_kfac_stats_spatial_samples(self, rng):
+        conv = nn.Conv2d(2, 4, 3, padding=1, rng=1)
+        x = rng.standard_normal((3, 2, 6, 6)).astype(np.float32)
+        y = conv(x)
+        conv.backward(np.ones_like(y))
+        assert conv.last_a.shape == (3 * 36, 2 * 9 + 1)
+        assert conv.last_g.shape == (3 * 36, 4)
+
+    def test_im2col_col2im_adjoint(self, rng):
+        """col2im must be the exact adjoint of im2col."""
+        from repro.nn.conv import col2im, im2col
+
+        x = rng.standard_normal((2, 3, 7, 7))
+        cols = im2col(x, 3, 3, 2, 1)
+        u = rng.standard_normal(cols.shape)
+        v = rng.standard_normal(x.shape)
+        lhs = (im2col(v, 3, 3, 2, 1) * u).sum()
+        rhs = (col2im(u, v.shape, 3, 3, 2, 1) * v).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("act", [nn.GELU, nn.Tanh, nn.Sigmoid])
+    def test_gradcheck_smooth(self, rng, act):
+        x = rng.standard_normal((6, 5))
+        t = rng.integers(0, 3, 6)
+        model = nn.Sequential(nn.Linear(5, 8, rng=1), act(), nn.Linear(8, 3, rng=2))
+        assert_gradcheck(model, x, _ce_loss(t))
+
+    def test_relu_gradient_mask(self, rng):
+        r = nn.ReLU()
+        x = np.array([[-1.0, 2.0, -3.0, 4.0]])
+        r(x)
+        g = r.backward(np.ones_like(x))
+        assert np.array_equal(g, [[0.0, 1.0, 0.0, 1.0]])
+
+    def test_gelu_matches_reference_points(self):
+        g = nn.GELU()
+        assert g(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert g(np.array([1.0]))[0] == pytest.approx(0.8412, abs=1e-3)
+
+
+class TestNormalisation:
+    def test_layernorm_gradcheck(self, rng):
+        x = rng.standard_normal((6, 5))
+        t = rng.integers(0, 3, 6)
+        model = nn.Sequential(nn.Linear(5, 8, rng=1), nn.LayerNorm(8), nn.Linear(8, 3, rng=2))
+        assert_gradcheck(model, x, _ce_loss(t))
+
+    def test_layernorm_output_standardised(self, rng):
+        ln = nn.LayerNorm(64)
+        x = rng.standard_normal((10, 64)).astype(np.float32) * 5 + 3
+        y = ln(x)
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_batchnorm_train_vs_eval(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = rng.standard_normal((8, 4, 5, 5)).astype(np.float32) * 3 + 1
+        y_train = bn(x)
+        assert abs(float(y_train.mean())) < 1e-5
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        y_eval = bn(x)
+        assert abs(float(y_eval.mean())) < 0.2  # running stats converged
+
+    def test_batchnorm_gradcheck(self, rng):
+        x = rng.standard_normal((5, 2, 4, 4))
+        t = rng.integers(0, 3, 5)
+        model = nn.Sequential(
+            nn.Conv2d(2, 3, 3, padding=1, rng=1),
+            nn.BatchNorm2d(3),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(3, 3, rng=2),
+        )
+        assert_gradcheck(model, x, _ce_loss(t), tol=1e-2)
+
+
+class TestPooling:
+    def test_maxpool_forward(self):
+        mp = nn.MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = mp(x)
+        assert np.array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        mp = nn.MaxPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        mp(x)
+        g = mp.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert g.sum() == 4
+        assert g[0, 0, 1, 1] == 1  # position of 5
+
+    def test_avgpool_backward_uniform(self):
+        ap = nn.AvgPool2d(2)
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        ap(x)
+        g = ap.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert np.allclose(g, 0.25)
+
+    def test_pool_requires_divisible_dims(self):
+        with pytest.raises(ValueError):
+            nn.MaxPool2d(3)(np.ones((1, 1, 4, 4)))
+
+
+class TestContainers:
+    def test_residual_gradcheck(self, rng):
+        x = rng.standard_normal((5, 6))
+        t = rng.integers(0, 3, 5)
+        model = nn.Sequential(
+            nn.Linear(6, 6, rng=1),
+            nn.Residual(nn.Sequential(nn.Linear(6, 6, rng=2), nn.Tanh())),
+            nn.Linear(6, 3, rng=3),
+        )
+        assert_gradcheck(model, x, _ce_loss(t))
+
+    def test_sequential_indexing(self):
+        s = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert len(s) == 2
+        assert isinstance(s[1], nn.Tanh)
+
+    def test_parameter_discovery_recursive(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.Residual(nn.Sequential(nn.Linear(4, 4))))
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == 4  # two weights + two biases
+        assert any("inner" in n for n in names)
+
+    def test_kfac_layers_in_order(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Conv2d(1, 1, 3))
+        layers = model.kfac_layers()
+        assert len(layers) == 2
+        assert isinstance(layers[0], nn.Linear)
+        assert isinstance(layers[1], nn.Conv2d)
+
+
+class TestEmbeddingAttention:
+    def test_embedding_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng=1)
+        ids = np.array([[1, 2], [3, 1]])
+        y = emb(ids)
+        assert y.shape == (2, 2, 4)
+        assert np.array_equal(y[0, 0], emb.weight.data[1])
+
+    def test_embedding_grad_accumulates_repeats(self):
+        emb = nn.Embedding(10, 4, rng=1)
+        ids = np.array([[1, 1, 1]])
+        emb(ids)
+        emb.backward(np.ones((1, 3, 4), dtype=np.float32))
+        assert np.allclose(emb.weight.grad[1], 3.0)
+
+    def test_embedding_rejects_float_ids(self, rng):
+        with pytest.raises(TypeError):
+            nn.Embedding(10, 4)(rng.standard_normal((2, 3)))
+
+    def test_attention_gradcheck(self, rng):
+        x = rng.standard_normal((2, 4, 8))
+        t = rng.integers(0, 3, (2, 4))
+
+        class Wrap(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.attn = nn.MultiHeadSelfAttention(8, 2, rng=1)
+                self.fc = nn.Linear(8, 3, rng=2)
+
+            def forward(self, x):
+                return self.fc(self.attn(x))
+
+            def backward(self, g):
+                return self.attn.backward(self.fc.backward(g))
+
+        assert_gradcheck(Wrap(), x, _ce_loss(t))
+
+    def test_causal_mask_blocks_future(self, rng):
+        attn = nn.MultiHeadSelfAttention(8, 2, causal=True, rng=1)
+        x = rng.standard_normal((1, 5, 8)).astype(np.float32)
+        y1 = attn(x)
+        x2 = x.copy()
+        x2[0, 4] += 100.0  # changing the future...
+        y2 = attn(x2)
+        assert np.allclose(y1[0, :4], y2[0, :4], atol=1e-5)  # ...must not leak back
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, 3)

@@ -1,0 +1,206 @@
+"""First-order optimizers, LR schedules, and the K-FAC optimizer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim import Adam, ConstantLr, Kfac, Lamb, Sgd, SmoothLr, StepLr
+
+
+def _quadratic_problem(rng, n=200, d=10):
+    """Linear regression: analytically solvable, good optimizer testbed."""
+    X = rng.standard_normal((n, d)).astype(np.float32)
+    w_true = rng.standard_normal(d).astype(np.float32)
+    y = X @ w_true
+    return X, y[:, None], w_true
+
+
+def _run(optimizer_factory, rng, iters=200):
+    X, y, w_true = _quadratic_problem(rng)
+    model = nn.Sequential(nn.Linear(10, 1, bias=False, rng=1))
+    opt = optimizer_factory(model)
+    for _ in range(iters):
+        out = model(X)
+        loss, dl = nn.mse_loss(out, y)
+        opt.zero_grad()
+        model.backward(dl)
+        opt.step()
+    return loss, model
+
+
+class TestFirstOrder:
+    def test_sgd_converges(self, rng):
+        loss, _ = _run(lambda m: Sgd(m.parameters(), lr=0.05, momentum=0.9), rng)
+        assert loss < 1e-3
+
+    def test_adam_converges(self, rng):
+        loss, _ = _run(lambda m: Adam(m.parameters(), lr=0.05), rng)
+        assert loss < 1e-3
+
+    def test_lamb_converges(self, rng):
+        loss, _ = _run(lambda m: Lamb(m.parameters(), lr=0.02), rng)
+        assert loss < 1e-2
+
+    def test_momentum_accelerates(self, rng):
+        loss_mom, _ = _run(lambda m: Sgd(m.parameters(), lr=0.02, momentum=0.9), rng, iters=50)
+        loss_plain, _ = _run(lambda m: Sgd(m.parameters(), lr=0.02, momentum=0.0), rng, iters=50)
+        assert loss_mom < loss_plain
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        _, m1 = _run(lambda m: Sgd(m.parameters(), lr=0.01, weight_decay=0.5), rng, iters=100)
+        _, m2 = _run(lambda m: Sgd(m.parameters(), lr=0.01, weight_decay=0.0), rng, iters=100)
+        n1 = np.linalg.norm(m1.parameters()[0].data)
+        n2 = np.linalg.norm(m2.parameters()[0].data)
+        assert n1 < n2
+
+    def test_zero_grad(self, rng):
+        model = nn.Sequential(nn.Linear(3, 2, rng=1))
+        opt = Sgd(model.parameters(), lr=0.1)
+        model.parameters()[0].grad += 1.0
+        opt.zero_grad()
+        assert np.all(model.parameters()[0].grad == 0)
+
+
+class TestSchedulers:
+    def test_step_lr_drops(self):
+        s = StepLr(1.0, [10, 20], gamma=0.1)
+        assert s.lr_at(0) == 1.0
+        assert s.lr_at(10) == pytest.approx(0.1)
+        assert s.lr_at(25) == pytest.approx(0.01)
+        assert s.first_drop == 10
+
+    def test_step_lr_requires_sorted_milestones(self):
+        with pytest.raises(ValueError):
+            StepLr(1.0, [20, 10])
+
+    def test_smooth_lr_warmup_then_cosine(self):
+        s = SmoothLr(1.0, total_iterations=100, warmup=10)
+        assert s.lr_at(0) < s.lr_at(9)
+        assert s.lr_at(9) == pytest.approx(1.0)
+        assert s.lr_at(55) == pytest.approx(0.5, abs=0.02)
+        assert s.lr_at(99) < 0.01
+
+    def test_smooth_lr_monotone_after_warmup(self):
+        s = SmoothLr(1.0, 200, warmup=20)
+        lrs = [s.lr_at(t) for t in range(20, 200)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_constant(self):
+        assert ConstantLr(0.3).lr_at(12345) == 0.3
+
+    def test_smooth_validation(self):
+        with pytest.raises(ValueError):
+            SmoothLr(1.0, 0)
+        with pytest.raises(ValueError):
+            SmoothLr(1.0, 10, warmup=10)
+
+
+class TestKfac:
+    def _classification_setup(self, rng):
+        n, d, c = 400, 16, 5
+        W = rng.standard_normal((c, d))
+        X = rng.standard_normal((n, d)).astype(np.float32)
+        y = (X @ W.T).argmax(1)
+        model = nn.Sequential(nn.Linear(d, 24, rng=2), nn.Tanh(), nn.Linear(24, c, rng=3))
+        return model, X, y
+
+    def _train_kfac(self, model, X, y, rng, iters=50, **kw):
+        opt = Kfac(model, lr=0.05, damping=1e-2, inv_update_freq=5, **kw)
+        losses = []
+        for _ in range(iters):
+            idx = rng.integers(0, len(y), 64)
+            out = model(X[idx])
+            loss, dl = nn.softmax_cross_entropy(out, y[idx])
+            opt.zero_grad()
+            model.backward(dl)
+            opt.step()
+            losses.append(loss)
+        return losses
+
+    def test_converges_faster_than_sgd(self, rng):
+        model_k, X, y = self._classification_setup(rng)
+        k_losses = self._train_kfac(model_k, X, y, np.random.default_rng(0))
+        model_s, _, _ = self._classification_setup(np.random.default_rng(12345))
+        opt = Sgd(model_s.parameters(), lr=0.05, momentum=0.9)
+        s_losses = []
+        srng = np.random.default_rng(0)
+        for _ in range(50):
+            idx = srng.integers(0, len(y), 64)
+            out = model_s(X[idx])
+            loss, dl = nn.softmax_cross_entropy(out, y[idx])
+            opt.zero_grad()
+            model_s.backward(dl)
+            opt.step()
+            s_losses.append(loss)
+        assert np.mean(k_losses[-10:]) < np.mean(s_losses[-10:])
+
+    def test_identity_factors_reduce_to_scaled_gradient(self, rng):
+        """With A = G = I the preconditioner is 1/(1+damping) * I."""
+        model = nn.Sequential(nn.Linear(4, 3, bias=False, rng=1))
+        opt = Kfac(model, lr=0.1, damping=0.5, kl_clip=0)
+        layer = model.kfac_layers()[0]
+        opt.accumulate_factors(0, np.eye(4), np.eye(3))
+        opt.compute_eigen(0)
+        layer.weight.grad = rng.standard_normal((3, 4)).astype(np.float32)
+        pg = opt.precondition(0)
+        assert np.allclose(pg, layer.weight.grad / 1.5, atol=1e-5)
+
+    def test_eigen_flat_roundtrip(self, rng):
+        model = nn.Sequential(nn.Linear(4, 3, rng=1))
+        opt = Kfac(model, lr=0.1)
+        A = rng.standard_normal((5, 5))
+        G = rng.standard_normal((3, 3))
+        opt.accumulate_factors(0, A @ A.T, G @ G.T)
+        opt.compute_eigen(0)
+        flat = opt.eigen_flat(0)
+        QA, vA = opt.state[0].QA.copy(), opt.state[0].vA.copy()
+        opt.state[0].QA = None
+        opt.set_eigen_flat(0, flat)
+        assert np.allclose(opt.state[0].QA, QA, atol=1e-5)
+        assert np.allclose(opt.state[0].vA, vA, atol=1e-4)
+
+    def test_factor_running_average(self):
+        model = nn.Sequential(nn.Linear(2, 2, rng=1))
+        opt = Kfac(model, factor_decay=0.5)
+        opt.accumulate_factors(0, np.full((3, 3), 1.0), np.full((2, 2), 1.0))
+        opt.accumulate_factors(0, np.full((3, 3), 3.0), np.full((2, 2), 3.0))
+        assert np.allclose(opt.state[0].A, 2.0)  # 0.5*1 + 0.5*3
+
+    def test_kl_clip_bounds_update(self, rng):
+        model = nn.Sequential(nn.Linear(4, 3, bias=False, rng=1))
+        opt = Kfac(model, lr=1.0, damping=1e-8, kl_clip=1e-6, momentum=0)
+        layer = model.kfac_layers()[0]
+        opt.accumulate_factors(0, np.eye(4) * 1e-6, np.eye(3) * 1e-6)
+        opt.compute_eigen(0)
+        layer.weight.grad = np.full((3, 4), 10.0, dtype=np.float32)
+        before = layer.weight.data.copy()
+        pg = opt.precondition(0)
+        unclipped_norm = float(np.linalg.norm(pg))
+        opt.apply({0: pg})
+        step_norm = float(np.linalg.norm(layer.weight.data - before))
+        # Tiny factors make the raw preconditioned step enormous; the KL
+        # clip must shrink it by orders of magnitude.
+        assert unclipped_norm > 1e8
+        assert step_norm < unclipped_norm * 1e-6
+
+    def test_non_kfac_params_get_sgd_update(self, rng):
+        model = nn.Sequential(nn.Linear(4, 4, rng=1), nn.LayerNorm(4), nn.Linear(4, 2, rng=2))
+        opt = Kfac(model, lr=0.1, momentum=0)
+        assert len(opt.other_params) == 2  # LayerNorm gamma/beta
+        gamma = opt.other_params[0]
+        gamma.grad += 1.0
+        before = gamma.data.copy()
+        opt.apply({})
+        assert np.allclose(gamma.data, before - 0.1)
+
+    def test_gradient_sizes(self):
+        model = nn.Sequential(nn.Linear(4, 3, rng=1), nn.ReLU(), nn.Linear(3, 2, bias=False, rng=2))
+        opt = Kfac(model)
+        assert opt.gradient_sizes() == [3 * 5, 2 * 3]
+
+    def test_invalid_config(self):
+        model = nn.Sequential(nn.Linear(2, 2))
+        with pytest.raises(ValueError):
+            Kfac(model, factor_decay=0.0)
+        with pytest.raises(ValueError):
+            Kfac(model, inv_update_freq=0)

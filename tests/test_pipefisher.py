@@ -1,0 +1,82 @@
+"""PipeFisher pipeline-parallel model (paper section 6 comparison)."""
+
+import pytest
+
+from repro.distributed import PLATFORM1
+from repro.kfac_dist import MODEL_TIMING_PROFILES, PipeFisherModel
+from repro.models.catalogs import bert_large_catalog, resnet50_catalog
+
+
+@pytest.fixture(scope="module")
+def bert_pf():
+    return PipeFisherModel(
+        bert_large_catalog(),
+        PLATFORM1,
+        stages=4,
+        microbatches=8,
+        profile=MODEL_TIMING_PROFILES["bert-large"],
+    )
+
+
+class TestPipeFisherModel:
+    def test_stages_cover_all_layers(self, bert_pf):
+        n = sum(len(s) for s in bert_pf.stage_layers)
+        assert n == len(bert_pf.catalog)
+        assert all(len(s) > 0 for s in bert_pf.stage_layers)
+
+    def test_stages_balanced_by_flops(self, bert_pf):
+        loads = [sum(l.fwd_flops for l in s) for s in bert_pf.stage_layers]
+        assert max(loads) / min(loads) < 1.6
+
+    def test_bubble_fraction_matches_1f1b(self, bert_pf):
+        bd = bert_pf.breakdown()
+        s, m = 4, 8
+        expected = (s - 1) / (m + s - 1)
+        assert bd.bubble / (bd.stage_compute + bd.bubble) == pytest.approx(expected, rel=0.01)
+
+    def test_more_microbatches_smaller_bubble(self):
+        prof = MODEL_TIMING_PROFILES["bert-large"]
+        few = PipeFisherModel(
+            bert_large_catalog(), PLATFORM1, stages=4, microbatches=4, profile=prof
+        ).breakdown()
+        many = PipeFisherModel(
+            bert_large_catalog(), PLATFORM1, stages=4, microbatches=32, profile=prof
+        ).breakdown()
+        assert many.bubble < few.bubble
+
+    def test_kfac_work_partially_hidden(self, bert_pf):
+        bd = bert_pf.breakdown()
+        assert bd.kfac_hidden > 0
+        assert bd.kfac_hidden <= bd.bubble + 1e-12
+
+    def test_deeper_pipeline_more_bubble(self):
+        prof = MODEL_TIMING_PROFILES["bert-large"]
+
+        def bubble_frac(stages):
+            bd = PipeFisherModel(
+                bert_large_catalog(), PLATFORM1, stages=stages, microbatches=8, profile=prof
+            ).breakdown()
+            return bd.bubble / (bd.stage_compute + bd.bubble)
+
+        assert bubble_frac(16) > bubble_frac(4)
+
+    def test_stage_memory_fraction(self, bert_pf):
+        frac = bert_pf.per_stage_memory_fraction()
+        assert 0.15 < frac < 0.5  # ~1/4 with imbalance headroom
+
+    def test_works_on_cnn_catalog(self):
+        pf = PipeFisherModel(
+            resnet50_catalog(),
+            PLATFORM1,
+            stages=4,
+            microbatches=8,
+            profile=MODEL_TIMING_PROFILES["resnet50"],
+        )
+        assert pf.breakdown().total > 0
+
+    def test_validation(self):
+        prof = MODEL_TIMING_PROFILES["resnet50"]
+        with pytest.raises(ValueError):
+            PipeFisherModel(resnet50_catalog(), PLATFORM1, stages=1, profile=prof)
+        with pytest.raises(ValueError):
+            PipeFisherModel(resnet50_catalog(), PLATFORM1, stages=4, microbatches=0, profile=prof)

@@ -1,0 +1,57 @@
+"""Seeding determinism and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.util.seeding import rng_for_rank, spawn_rng
+from repro.util.tables import format_table
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        a = spawn_rng(42).random(10)
+        b = spawn_rng(42).random(10)
+        assert np.array_equal(a, b)
+
+    def test_keys_give_independent_streams(self):
+        a = spawn_rng(42, 0).random(10)
+        b = spawn_rng(42, 1).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert spawn_rng(g) is g
+
+    def test_generator_with_key_derives_child(self):
+        g = np.random.default_rng(7)
+        child = spawn_rng(g, 3)
+        assert child is not g
+
+    def test_rank_rngs_differ(self):
+        r0 = rng_for_rank(5, 0).random(5)
+        r1 = rng_for_rank(5, 1).random(5)
+        assert not np.array_equal(r0, r1)
+
+    def test_rank_rngs_reproducible(self):
+        assert np.array_equal(rng_for_rank(5, 3).random(5), rng_for_rank(5, 3).random(5))
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "4.12" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_floatfmt(self):
+        out = format_table(["v"], [[3.14159]], floatfmt=".4f")
+        assert "3.1416" in out
