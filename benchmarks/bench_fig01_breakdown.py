@@ -12,6 +12,7 @@ from benchmarks._common import emit
 from repro.distributed import PLATFORM2
 from repro.kfac_dist import KfacIterationModel, MODEL_TIMING_PROFILES
 from repro.models.catalogs import MODEL_CATALOGS
+from repro.telemetry import Tracer, category_fractions
 from repro.util.charts import stacked_bars
 from repro.util.tables import format_table
 
@@ -28,6 +29,14 @@ PAPER_16NODE = {
 
 
 def breakdown_rows():
+    """Fig. 1 percentages, read back from a telemetry trace.
+
+    Each (model, nodes) cell records one modelled iteration as sim-track
+    spans via ``KfacIterationModel.record_trace`` and derives the
+    percentages from the telemetry category totals — the same numbers a
+    ``repro trace`` summary or an exported Chrome trace would show, so
+    the figure and the trace cannot disagree.
+    """
     rows = []
     for name, catalog_fn in MODEL_CATALOGS.items():
         catalog = catalog_fn()
@@ -35,7 +44,9 @@ def breakdown_rows():
             m = KfacIterationModel(
                 catalog, PLATFORM2, nodes, profile=MODEL_TIMING_PROFILES[name]
             )
-            fr = m.breakdown().fractions()
+            tracer = Tracer()
+            m.record_trace(tracer)
+            fr = category_fractions(tracer)
             rows.append(
                 [
                     name,
@@ -44,7 +55,7 @@ def breakdown_rows():
                     fr["kfac_allreduce"] * 100,
                     fr["kfac_compute"] * 100,
                     fr["fwd_bwd"] * 100,
-                    fr["others"] * 100,
+                    (fr.get("others", 0.0) + fr.get("compression", 0.0)) * 100,
                 ]
             )
     return rows

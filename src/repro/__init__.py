@@ -38,5 +38,6 @@ __all__ = [
     "gpusim",
     "data",
     "train",
+    "telemetry",
     "util",
 ]

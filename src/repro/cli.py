@@ -6,6 +6,9 @@ Commands:
 * ``compress`` — compress a ``.npy`` float32 tensor (or a synthetic
   demo payload) with a chosen compressor and report ratio/error;
 * ``demo-train`` — a one-minute distributed K-FAC + COMPSO training demo;
+* ``trace`` — run a short simulated training job with telemetry enabled
+  and write a Chrome trace (``chrome://tracing`` / Perfetto), a metrics
+  JSONL dump, and a plain-text summary;
 * ``experiments`` — list the paper's tables/figures and their benches.
 """
 
@@ -108,6 +111,72 @@ def cmd_demo_train(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Tiny proxy workloads small enough to trace in seconds.
+_TRACE_MODELS = ("mini-resnet", "mini-detection")
+
+
+def _build_trace_trainer(args: argparse.Namespace):
+    from repro.core import CompsoCompressor
+    from repro.data import make_detection_data, make_image_data
+    from repro.distributed import SimCluster
+    from repro.kfac_dist import DistributedKfacTrainer
+    from repro.models import maskrcnn_proxy, resnet_proxy
+    from repro.train import ClassificationTask, DetectionTask
+
+    cluster = SimCluster(args.nodes, args.gpus_per_node, seed=0)
+    compressor = None
+    if args.compressor != "none":
+        compressor = _make_compressor(args.compressor, seed=0)
+    if args.model == "mini-resnet":
+        task = ClassificationTask(make_image_data(256, n_classes=5, size=8, noise=0.5, seed=0))
+        model = resnet_proxy(n_classes=5, channels=8, rng=3)
+    else:
+        task = DetectionTask(make_detection_data(256, size=8, seed=0))
+        model = maskrcnn_proxy(rng=3)
+    if compressor is None:
+        compressor = CompsoCompressor(4e-3, 4e-3, seed=0)
+    return DistributedKfacTrainer(
+        model, task, cluster, lr=0.05, inv_update_freq=5, compressor=compressor
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import numpy as np  # noqa: F401  (kept for symmetry with other commands)
+
+    from repro import telemetry
+
+    trainer = _build_trace_trainer(args)
+    with telemetry.session() as t:
+        trainer.train(iterations=args.iterations, batch_size=args.batch_size)
+    trace_path = telemetry.write_chrome_trace(t.tracer, args.out)
+    print(f"wrote {trace_path} ({len(t.tracer.spans())} spans)")
+    if args.metrics_out:
+        metrics_path = telemetry.write_metrics_jsonl(t.metrics, args.metrics_out)
+        print(f"wrote {metrics_path} ({len(t.metrics.steps)} step snapshots)")
+    print()
+    print(telemetry.summary_table(t.tracer, track=telemetry.SIM_TRACK))
+    print()
+    print(
+        telemetry.summary_table(
+            t.tracer,
+            track=telemetry.HOST_TRACK,
+            depth=1,
+            title="telemetry summary — host track (trainer phases)",
+        )
+    )
+    # Cross-check: the trace must reconcile with the clock accounting.
+    breakdown = trainer.cluster.breakdown()
+    totals = t.tracer.category_totals(track=telemetry.SIM_TRACK)
+    worst = max(
+        (abs(totals.get(cat, 0.0) - sec) for cat, sec in breakdown.items()), default=0.0
+    )
+    print(f"\ntrace vs SimCluster.breakdown(): max category deviation {worst:.3e} s")
+    if worst > 1e-9:
+        print("WARNING: trace disagrees with clock accounting", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[0]) for e in _EXPERIMENTS)
     for tag, desc, bench in _EXPERIMENTS:
@@ -133,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=4)
     p.add_argument("--iterations", type=int, default=20)
     p.set_defaults(func=cmd_demo_train)
+
+    p = sub.add_parser("trace", help="trace a short simulated run (Chrome trace + metrics)")
+    p.add_argument("--model", default="mini-resnet", choices=_TRACE_MODELS)
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--gpus-per-node", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=5)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--compressor", default="compso", help="compressor name or 'none'")
+    p.add_argument("--out", default="trace.json", help="Chrome trace output path")
+    p.add_argument("--metrics-out", default="metrics.jsonl", help="metrics JSONL path ('' skips)")
+    p.set_defaults(func=cmd_trace)
 
     sub.add_parser("experiments", help="list paper artefacts and benches").set_defaults(
         func=cmd_experiments

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry import get_metrics
+
 __all__ = ["CompressedTensor", "GradientCompressor", "METADATA_BYTES"]
 
 #: Fixed per-tensor wire overhead we charge every compressor: shape/dtype
@@ -66,6 +68,15 @@ class GradientCompressor(ABC):
         if x.size == 0:
             return 1.0
         return x.nbytes / self.compress(x).nbytes
+
+    def _record_compression(self, raw_nbytes: int, ct: CompressedTensor) -> CompressedTensor:
+        """Feed the active metrics registry with honest wire accounting."""
+        m = get_metrics()
+        if m.enabled and raw_nbytes:
+            m.counter("compress.raw_bytes", compressor=self.name).inc(raw_nbytes)
+            m.counter("compress.wire_bytes", compressor=self.name).inc(ct.nbytes)
+            m.histogram("compress.ratio", compressor=self.name).observe(raw_nbytes / ct.nbytes)
+        return ct
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

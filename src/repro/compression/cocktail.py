@@ -17,6 +17,7 @@ from repro.compression.base import CompressedTensor, GradientCompressor
 from repro.compression.quantize import BitBudgetQuantizer
 from repro.compression.topk import topk_mask
 from repro.encoders.ans import RansEncoder
+from repro.telemetry import get_tracer
 from repro.util.bitpack import pack_bitmap, unpack_bitmap
 from repro.util.seeding import spawn_rng
 
@@ -50,28 +51,31 @@ class CocktailSgdCompressor(GradientCompressor):
         x = np.asarray(x, dtype=np.float32)
         flat = x.ravel()
         n = flat.size
-        k = max(1, int(round(self.density * n))) if n else 0
-        pool = min(n, int(round(self.candidate_factor * k)))
-        if pool < n:
-            candidates = self._rng.choice(n, size=pool, replace=False)
-            sub_mask = topk_mask(flat[candidates], k)
-            mask = np.zeros(n, dtype=bool)
-            mask[candidates[sub_mask]] = True
-        else:
-            mask = topk_mask(flat, k)
-        kept = flat[mask]
-        qt = self._quantizer.quantize(kept)
-        # Signed codes -> unsigned bytes around the midpoint.
-        offset = 1 << (self.bits - 1)
-        byte_codes = (qt.codes + offset).astype(np.uint8)
-        return CompressedTensor(
-            {
-                "bitmap": self._encoder.encode(pack_bitmap(mask)),
-                "codes": self._encoder.encode(byte_codes.tobytes()),
-            },
-            x.shape,
-            meta={"scale": qt.scale, "k": int(mask.sum())},
-        )
+        tracer = get_tracer()
+        with tracer.span("compress", "compress", compressor=self.name, nbytes=x.nbytes):
+            with tracer.span("select", "compress.filter"):
+                k = max(1, int(round(self.density * n))) if n else 0
+                pool = min(n, int(round(self.candidate_factor * k)))
+                if pool < n:
+                    candidates = self._rng.choice(n, size=pool, replace=False)
+                    sub_mask = topk_mask(flat[candidates], k)
+                    mask = np.zeros(n, dtype=bool)
+                    mask[candidates[sub_mask]] = True
+                else:
+                    mask = topk_mask(flat, k)
+                kept = flat[mask]
+            with tracer.span("quantise", "compress.quantise"):
+                qt = self._quantizer.quantize(kept)
+                # Signed codes -> unsigned bytes around the midpoint.
+                offset = 1 << (self.bits - 1)
+                byte_codes = (qt.codes + offset).astype(np.uint8)
+            with tracer.span("encode", "compress.encode", encoder="ans"):
+                segments = {
+                    "bitmap": self._encoder.encode(pack_bitmap(mask)),
+                    "codes": self._encoder.encode(byte_codes.tobytes()),
+                }
+        ct = CompressedTensor(segments, x.shape, meta={"scale": qt.scale, "k": int(mask.sum())})
+        return self._record_compression(x.nbytes, ct)
 
     def decompress(self, ct: CompressedTensor) -> np.ndarray:
         n = ct.n_elements

@@ -13,6 +13,7 @@ import numpy as np
 from repro.compression.base import CompressedTensor, GradientCompressor
 from repro.compression.quantize import BitBudgetQuantizer
 from repro.encoders.elias import elias_gamma_decode, elias_gamma_encode
+from repro.telemetry import get_tracer
 from repro.util.bitpack import pack_bitmap, unpack_bitmap
 from repro.util.seeding import spawn_rng
 
@@ -29,16 +30,21 @@ class QsgdCompressor(GradientCompressor):
 
     def compress(self, x: np.ndarray) -> CompressedTensor:
         x = np.asarray(x, dtype=np.float32)
-        qt = self._quantizer.quantize(x)
-        codes = qt.codes
-        signs = codes < 0
-        mags = np.abs(codes).astype(np.uint64)
-        segments = {
-            "signs": pack_bitmap(signs),
-            # Elias gamma requires values >= 1; shift zero up by one.
-            "mags": elias_gamma_encode(mags + 1),
-        }
-        return CompressedTensor(segments, x.shape, meta={"scale": qt.scale})
+        tracer = get_tracer()
+        with tracer.span("compress", "compress", compressor=self.name, nbytes=x.nbytes):
+            with tracer.span("quantise", "compress.quantise"):
+                qt = self._quantizer.quantize(x)
+                codes = qt.codes
+                signs = codes < 0
+                mags = np.abs(codes).astype(np.uint64)
+            with tracer.span("encode", "compress.encode", encoder="elias-gamma"):
+                segments = {
+                    "signs": pack_bitmap(signs),
+                    # Elias gamma requires values >= 1; shift zero up by one.
+                    "mags": elias_gamma_encode(mags + 1),
+                }
+        ct = CompressedTensor(segments, x.shape, meta={"scale": qt.scale})
+        return self._record_compression(x.nbytes, ct)
 
     def decompress(self, ct: CompressedTensor) -> np.ndarray:
         n = ct.n_elements

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.compression.base import CompressedTensor, GradientCompressor
 from repro.encoders.huffman import HuffmanEncoder
+from repro.telemetry import get_tracer
 
 __all__ = ["SzCompressor"]
 
@@ -51,16 +52,22 @@ class SzCompressor(GradientCompressor):
         step = self._step(flat)
         if flat.size == 0 or step == 0.0:
             return CompressedTensor({"codes": b"", "outliers": b""}, x.shape, meta={"step": 0.0})
-        q = np.rint(flat / step).astype(np.int64)
-        deltas = np.diff(q, prepend=0)
-        small = np.abs(deltas) <= _RADIUS
-        codes = np.where(small, deltas + _RADIUS, _ESCAPE).astype(np.uint8)
-        outliers = deltas[~small].astype(np.int32)
-        return CompressedTensor(
-            {"codes": self._encoder.encode(codes), "outliers": outliers.tobytes()},
-            x.shape,
-            meta={"step": step},
-        )
+        tracer = get_tracer()
+        with tracer.span("compress", "compress", compressor=self.name, nbytes=x.nbytes):
+            with tracer.span("prequantise", "compress.quantise"):
+                q = np.rint(flat / step).astype(np.int64)
+            with tracer.span("lorenzo", "compress.pack"):
+                deltas = np.diff(q, prepend=0)
+                small = np.abs(deltas) <= _RADIUS
+                codes = np.where(small, deltas + _RADIUS, _ESCAPE).astype(np.uint8)
+                outliers = deltas[~small].astype(np.int32)
+            with tracer.span("encode", "compress.encode", encoder="huffman"):
+                segments = {
+                    "codes": self._encoder.encode(codes),
+                    "outliers": outliers.tobytes(),
+                }
+        ct = CompressedTensor(segments, x.shape, meta={"step": step})
+        return self._record_compression(x.nbytes, ct)
 
     def decompress(self, ct: CompressedTensor) -> np.ndarray:
         n = ct.n_elements

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import CompressedTensor, GradientCompressor
+from repro.telemetry import get_tracer
 from repro.util.bitpack import pack_bitmap, unpack_bitmap
 
 __all__ = ["TopKCompressor", "topk_mask"]
@@ -41,13 +42,15 @@ class TopKCompressor(GradientCompressor):
     def compress(self, x: np.ndarray) -> CompressedTensor:
         x = np.asarray(x, dtype=np.float32)
         flat = x.ravel()
-        k = max(1, int(round(self.density * flat.size))) if flat.size else 0
-        mask = topk_mask(flat, k)
-        return CompressedTensor(
-            {"bitmap": pack_bitmap(mask), "values": flat[mask].tobytes()},
-            x.shape,
-            meta={"k": int(mask.sum())},
-        )
+        tracer = get_tracer()
+        with tracer.span("compress", "compress", compressor=self.name, nbytes=x.nbytes):
+            with tracer.span("select", "compress.filter"):
+                k = max(1, int(round(self.density * flat.size))) if flat.size else 0
+                mask = topk_mask(flat, k)
+            with tracer.span("pack", "compress.pack"):
+                segments = {"bitmap": pack_bitmap(mask), "values": flat[mask].tobytes()}
+        ct = CompressedTensor(segments, x.shape, meta={"k": int(mask.sum())})
+        return self._record_compression(x.nbytes, ct)
 
     def decompress(self, ct: CompressedTensor) -> np.ndarray:
         n = ct.n_elements

@@ -32,6 +32,7 @@ import numpy as np
 from repro.compression.base import CompressedTensor, GradientCompressor
 from repro.compression.quantize import ROUNDING_MODES
 from repro.encoders.registry import get_encoder
+from repro.telemetry import get_metrics, get_tracer
 from repro.util.bitpack import (
     pack_bitmap,
     pack_uints,
@@ -128,24 +129,43 @@ class CompsoCompressor(GradientCompressor):
     def compress(self, x: np.ndarray) -> CompressedTensor:
         x = np.asarray(x, dtype=np.float32)
         flat = x.ravel()
-        threshold, step = self._bounds_for(flat)
-        filtered = np.abs(flat) < threshold if threshold > 0 else np.zeros(flat.size, dtype=bool)
-        kept = flat[~filtered]
-        codes = self._quantize(kept, step)
-        packed, cmin, width = self._pack_codes(codes)
-        segments = {
-            "bitmap": self._encoder.encode(pack_bitmap(filtered)),
-            "codes": self._encoder.encode(packed),
-        }
+        tracer = get_tracer()
+        with tracer.span("compress", "compress", compressor=self.name, nbytes=x.nbytes):
+            with tracer.span("filter", "compress.filter"):
+                threshold, step = self._bounds_for(flat)
+                filtered = (
+                    np.abs(flat) < threshold if threshold > 0 else np.zeros(flat.size, dtype=bool)
+                )
+                kept = flat[~filtered]
+            with tracer.span("quantise", "compress.quantise"):
+                codes = self._quantize(kept, step)
+            with tracer.span("pack", "compress.pack"):
+                packed, cmin, width = self._pack_codes(codes)
+            with tracer.span("encode", "compress.encode", encoder=self.encoder_name):
+                segments = {
+                    "bitmap": self._encoder.encode(pack_bitmap(filtered)),
+                    "codes": self._encoder.encode(packed),
+                }
         meta = {
             "step": step,
             "code_min": cmin,
             "width": width,
             "n_kept": int(kept.size),
         }
-        return CompressedTensor(segments, x.shape, meta=meta)
+        ct = CompressedTensor(segments, x.shape, meta=meta)
+        m = get_metrics()
+        if m.enabled and flat.size:
+            m.histogram("compso.filter_hit_rate").observe(1.0 - kept.size / flat.size)
+            m.counter("compso.encoded_bytes", segment="bitmap").inc(len(segments["bitmap"]))
+            m.counter("compso.encoded_bytes", segment="codes").inc(len(segments["codes"]))
+            self._record_compression(x.nbytes, ct)
+        return ct
 
     def decompress(self, ct: CompressedTensor) -> np.ndarray:
+        with get_tracer().span("decompress", "decompress", compressor=self.name):
+            return self._decompress(ct)
+
+    def _decompress(self, ct: CompressedTensor) -> np.ndarray:
         n = ct.n_elements
         filtered = unpack_bitmap(self._encoder.decode(ct.segments["bitmap"]), n)
         n_kept = int(ct.meta["n_kept"])
@@ -168,31 +188,45 @@ class CompsoCompressor(GradientCompressor):
         """
         if not tensors:
             raise ValueError("compress_many requires at least one tensor")
+        tracer = get_tracer()
         bitmap_parts: list[bytes] = []
         code_parts: list[bytes] = []
         headers: list[bytes] = []
-        for t in tensors:
-            flat = np.asarray(t, dtype=np.float32).ravel()
-            threshold, step = self._bounds_for(flat)
-            filtered = (
-                np.abs(flat) < threshold if threshold > 0 else np.zeros(flat.size, dtype=bool)
-            )
-            kept = flat[~filtered]
-            codes = self._quantize(kept, step)
-            packed, cmin, width = self._pack_codes(codes)
-            bitmap_parts.append(pack_bitmap(filtered))
-            code_parts.append(packed)
-            headers.append(
-                struct.pack("<IIfiBI", flat.size, kept.size, step, cmin, width, len(packed))
-            )
-        header_blob = struct.pack("<I", len(tensors)) + b"".join(headers)
-        segments = {
-            "headers": header_blob,
-            "bitmap": self._encoder.encode(b"".join(bitmap_parts)),
-            "codes": self._encoder.encode(b"".join(code_parts)),
-        }
+        raw_nbytes = 0
+        with tracer.span(
+            "compress_many", "compress", compressor=self.name, n_layers=len(tensors)
+        ):
+            with tracer.span("filter+quantise+pack", "compress.quantise"):
+                for t in tensors:
+                    flat = np.asarray(t, dtype=np.float32).ravel()
+                    raw_nbytes += flat.nbytes
+                    threshold, step = self._bounds_for(flat)
+                    filtered = (
+                        np.abs(flat) < threshold
+                        if threshold > 0
+                        else np.zeros(flat.size, dtype=bool)
+                    )
+                    kept = flat[~filtered]
+                    codes = self._quantize(kept, step)
+                    packed, cmin, width = self._pack_codes(codes)
+                    bitmap_parts.append(pack_bitmap(filtered))
+                    code_parts.append(packed)
+                    headers.append(
+                        struct.pack(
+                            "<IIfiBI", flat.size, kept.size, step, cmin, width, len(packed)
+                        )
+                    )
+            header_blob = struct.pack("<I", len(tensors)) + b"".join(headers)
+            with tracer.span("encode", "compress.encode", encoder=self.encoder_name):
+                segments = {
+                    "headers": header_blob,
+                    "bitmap": self._encoder.encode(b"".join(bitmap_parts)),
+                    "codes": self._encoder.encode(b"".join(code_parts)),
+                }
         total = sum(np.asarray(t).size for t in tensors)
-        return CompressedTensor(segments, (total,), meta={"aggregated": len(tensors)})
+        ct = CompressedTensor(segments, (total,), meta={"aggregated": len(tensors)})
+        self._record_compression(raw_nbytes, ct)
+        return ct
 
     def decompress_many(self, ct: CompressedTensor) -> list[np.ndarray]:
         """Inverse of :func:`compress_many`; returns flat per-layer arrays."""

@@ -27,6 +27,7 @@ from repro.distributed.collectives import (
     reduce_scatter_time,
 )
 from repro.distributed.network import PLATFORM1, NetworkSpec, Platform
+from repro.telemetry import SIM_TRACK, get_metrics, get_tracer
 from repro.util.seeding import rng_for_rank
 
 __all__ = ["SimRank", "SimCluster"]
@@ -71,19 +72,75 @@ class SimCluster:
 
     # -- time plane helpers --------------------------------------------------
 
-    def _barrier_and_advance(self, seconds: float, category: str) -> None:
-        """Synchronise all clocks to the latest rank, then advance together."""
+    def _barrier_and_advance(
+        self, seconds: float, category: str, *, op: str | None = None, **attrs
+    ) -> None:
+        """Synchronise all clocks to the latest rank, then advance together.
+
+        With tracing enabled, every clock mutation becomes a sim-track
+        span: a ``wait`` span per rank that blocks at the barrier, then
+        one ``op`` span per rank for the collective itself — so per-rank
+        span totals reconcile exactly with :meth:`breakdown`.
+        """
+        tracer = get_tracer()
         t = max(r.clock.now for r in self.ranks)
         for r in self.ranks:
+            if tracer.enabled and t > r.clock.now:
+                tracer.add_span(
+                    "wait",
+                    "wait",
+                    t - r.clock.now,
+                    start=r.clock.now,
+                    track=SIM_TRACK,
+                    rank=r.rank,
+                    op=op or category,
+                )
             r.clock.sync_to(t)
             r.clock.advance(seconds, category)
+            if tracer.enabled:
+                tracer.add_span(
+                    op or category,
+                    category,
+                    seconds,
+                    start=t,
+                    track=SIM_TRACK,
+                    rank=r.rank,
+                    **attrs,
+                )
+
+    def _record_collective(
+        self, op: str, seconds: float, raw_nbytes: float, wire_nbytes: float
+    ) -> None:
+        """Counters/histograms for one collective across the whole cluster."""
+        m = get_metrics()
+        if not m.enabled:
+            return
+        m.counter("comm.calls", op=op).inc()
+        m.counter("comm.raw_bytes", op=op).inc(raw_nbytes)
+        m.counter("comm.wire_bytes", op=op).inc(wire_nbytes)
+        m.histogram("comm.seconds", op=op).observe(seconds)
 
     def advance_all(self, seconds: float, category: str) -> None:
         """Advance every rank's clock (e.g. perfectly parallel compute)."""
+        tracer = get_tracer()
         for r in self.ranks:
+            if tracer.enabled:
+                tracer.add_span(
+                    category, category, seconds, start=r.clock.now, track=SIM_TRACK, rank=r.rank
+                )
             r.clock.advance(seconds, category)
 
     def advance_rank(self, rank: int, seconds: float, category: str) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                category,
+                category,
+                seconds,
+                start=self.ranks[rank].clock.now,
+                track=SIM_TRACK,
+                rank=rank,
+            )
         self.ranks[rank].clock.advance(seconds, category)
 
     @property
@@ -131,13 +188,16 @@ class SimCluster:
         if average:
             total /= self.world_size
         result = total.astype(np.asarray(arrays[0]).dtype)
-        seconds = allreduce_time(
-            self.network,
-            self.world_size,
-            result.nbytes if nbytes is None else nbytes,
-            self.gpus_per_node,
+        wire = result.nbytes if nbytes is None else nbytes
+        seconds = allreduce_time(self.network, self.world_size, wire, self.gpus_per_node)
+        self._record_collective("allreduce", seconds, result.nbytes, wire)
+        self._barrier_and_advance(
+            seconds,
+            category,
+            op="allreduce",
+            nbytes_raw=result.nbytes,
+            nbytes_wire=wire,
         )
-        self._barrier_and_advance(seconds, category)
         return [result.copy() for _ in range(self.world_size)]
 
     def allgather(
@@ -154,24 +214,55 @@ class SimCluster:
         object size); defaults to the max ``nbytes`` of NumPy payloads.
         """
         self._check(objects)
+        raw_sizes = [o.nbytes for o in objects if isinstance(o, np.ndarray)]
         if nbytes_per_rank is None:
-            sizes = [o.nbytes for o in objects if isinstance(o, np.ndarray)]
-            nbytes_per_rank = max(sizes) if sizes else 0.0
+            nbytes_per_rank = max(raw_sizes) if raw_sizes else 0.0
         seconds = allgather_time(
             self.network, self.world_size, nbytes_per_rank, self.gpus_per_node
         )
-        self._barrier_and_advance(seconds, category)
-        return [list(objects) for _ in range(self.world_size)]
+        raw = max(raw_sizes) if raw_sizes else nbytes_per_rank
+        self._record_collective(
+            "allgather", seconds, raw * self.world_size, nbytes_per_rank * self.world_size
+        )
+        self._barrier_and_advance(
+            seconds,
+            category,
+            op="allgather",
+            nbytes_raw=raw,
+            nbytes_wire=nbytes_per_rank,
+        )
+        # Real MPI allgather copies every contribution into each rank's
+        # recvbuf; hand out per-rank copies of array payloads so an
+        # in-place mutation on one simulated rank cannot leak into others.
+        return [
+            [o.copy() if isinstance(o, np.ndarray) else o for o in objects]
+            for _ in range(self.world_size)
+        ]
 
     def broadcast(
         self, obj: object, root: int = 0, *, nbytes: float | None = None, category: str = "broadcast"
     ) -> list[object]:
         """Send ``obj`` from ``root`` to every rank."""
+        raw = obj.nbytes if isinstance(obj, np.ndarray) else 0.0
         if nbytes is None:
-            nbytes = obj.nbytes if isinstance(obj, np.ndarray) else 0.0
+            nbytes = raw
         seconds = broadcast_time(self.network, self.world_size, nbytes, self.gpus_per_node)
-        self._barrier_and_advance(seconds, category)
-        return [obj for _ in range(self.world_size)]
+        self._record_collective("broadcast", seconds, raw, nbytes)
+        self._barrier_and_advance(
+            seconds,
+            category,
+            op="broadcast",
+            root=root,
+            nbytes_raw=raw,
+            nbytes_wire=nbytes,
+        )
+        # The root keeps its own buffer (MPI semantics); every other rank
+        # receives a private copy of array payloads, so in-place edits on
+        # one simulated rank cannot alias into the rest.
+        return [
+            obj if r == root or not isinstance(obj, np.ndarray) else obj.copy()
+            for r in range(self.world_size)
+        ]
 
     def reduce_scatter(
         self, arrays: list[np.ndarray], *, category: str = "reduce_scatter"
@@ -185,5 +276,12 @@ class SimCluster:
         flat = total.ravel()
         chunks = np.array_split(flat, p)
         seconds = reduce_scatter_time(self.network, p, total.nbytes, self.gpus_per_node)
-        self._barrier_and_advance(seconds, category)
+        self._record_collective("reduce_scatter", seconds, total.nbytes, total.nbytes)
+        self._barrier_and_advance(
+            seconds,
+            category,
+            op="reduce_scatter",
+            nbytes_raw=total.nbytes,
+            nbytes_wire=total.nbytes,
+        )
         return [c.astype(np.asarray(arrays[0]).dtype).copy() for c in chunks]

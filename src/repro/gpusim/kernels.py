@@ -24,8 +24,37 @@ from dataclasses import dataclass, replace
 
 from repro.gpusim.device import A100, DeviceModel
 from repro.gpusim.encoder_perf import ENCODER_PERF
+from repro.telemetry import DEVICE_TRACK, get_tracer
 
 __all__ = ["KernelPipeline", "PIPELINES", "pipeline_throughput"]
+
+
+def _trace_kernels(op: str, pipeline: str, nbytes: float, stages: list[tuple[str, float]]) -> None:
+    """Emit one parent span plus per-stage child spans on the device track.
+
+    Spans stack sequentially at the device-track cursor, building the
+    timeline a profiler would show for the modelled kernel pipeline.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    total = sum(dur for _, dur in stages)
+    start = tracer.cursor(DEVICE_TRACK, 0)
+    tracer.add_span(
+        f"{pipeline}.{op}",
+        "kernel",
+        total,
+        start=start,
+        track=DEVICE_TRACK,
+        pipeline=pipeline,
+        nbytes=nbytes,
+    )
+    cursor = start
+    for stage, dur in stages:
+        tracer.add_span(
+            stage, f"kernel.{stage}", dur, start=cursor, track=DEVICE_TRACK, depth=1
+        )
+        cursor += dur
 
 
 @dataclass(frozen=True)
@@ -55,29 +84,42 @@ class KernelPipeline:
         if nbytes <= 0:
             return 0.0
         launches = self.launches + self.launches_per_mb * nbytes / 1e6
-        t = launches * device.launch_overhead
-        t += device.mem_time(nbytes, self.mem_passes)
-        t += device.compute_time(nbytes, self.ops_per_byte)
         red = device.mem_time(nbytes, self.reduction_passes)
         if not self.warp_shuffle:
             red *= device.smem_latency_factor
-        t += red
+        stages = [
+            ("launch", launches * device.launch_overhead),
+            ("hbm", device.mem_time(nbytes, self.mem_passes)),
+            ("alu", device.compute_time(nbytes, self.ops_per_byte)),
+            ("reduce", red),
+        ]
         if self.encoder is not None:
-            t += ENCODER_PERF[self.encoder].compress_time(nbytes * self.encoded_fraction)
-        return t
+            stages.append(
+                ("encode", ENCODER_PERF[self.encoder].compress_time(nbytes * self.encoded_fraction))
+            )
+        _trace_kernels("compress", self.name, nbytes, stages)
+        return sum(dur for _, dur in stages)
 
     def decompress_time(self, nbytes: float, device: DeviceModel = A100) -> float:
         """Modelled seconds to decompress back to ``nbytes`` of output."""
         if nbytes <= 0:
             return 0.0
         launches = self.launches + self.launches_per_mb * nbytes / 1e6
-        t = launches * device.launch_overhead
-        # Decompression skips the reduction and roughly one pass.
-        t += device.mem_time(nbytes, max(self.mem_passes - 0.5, 1.0))
-        t += device.compute_time(nbytes, self.ops_per_byte * 0.5)
+        stages = [
+            ("launch", launches * device.launch_overhead),
+            # Decompression skips the reduction and roughly one pass.
+            ("hbm", device.mem_time(nbytes, max(self.mem_passes - 0.5, 1.0))),
+            ("alu", device.compute_time(nbytes, self.ops_per_byte * 0.5)),
+        ]
         if self.encoder is not None:
-            t += ENCODER_PERF[self.encoder].decompress_time(nbytes * self.encoded_fraction)
-        return t
+            stages.append(
+                (
+                    "decode",
+                    ENCODER_PERF[self.encoder].decompress_time(nbytes * self.encoded_fraction),
+                )
+            )
+        _trace_kernels("decompress", self.name, nbytes, stages)
+        return sum(dur for _, dur in stages)
 
     def throughput(self, nbytes: float, device: DeviceModel = A100) -> float:
         """Compression throughput in GB/s at payload size ``nbytes``."""

@@ -29,6 +29,7 @@ from repro.data.loaders import batch_indices, shard
 from repro.distributed.cluster import SimCluster
 from repro.kfac_dist.assignment import assign_layers, eig_cost
 from repro.optim.kfac import Kfac
+from repro.telemetry import get_metrics, get_tracer
 from repro.train.trainer import TrainHistory
 
 __all__ = ["DistributedKfacTrainer"]
@@ -120,18 +121,25 @@ class DistributedKfacTrainer:
     # -- one training iteration ---------------------------------------------------
 
     def step(self, global_idx: np.ndarray) -> float:
+        tracer = get_tracer()
+        with tracer.span("step", "step", step=self.t):
+            return self._step(global_idx, tracer)
+
+    def _step(self, global_idx: np.ndarray, tracer) -> float:
         world = self.cluster.world_size
         shards = shard(global_idx, world)
         losses: list[float] = []
         per_rank_grads: list[np.ndarray] = []
         per_rank_other: list[np.ndarray] = []
         per_rank_factors: list[list[tuple[np.ndarray, np.ndarray]]] = []
-        for idx in shards:
+        for r, idx in enumerate(shards):
             self.model.zero_grad()
             x, y = self.task.batch(idx)
-            out = self.model(x)
-            loss, dl = self.task.loss_and_grad(out, y)
-            self.model.backward(dl)
+            with tracer.span("forward", "forward", shard=r):
+                out = self.model(x)
+                loss, dl = self.task.loss_and_grad(out, y)
+            with tracer.span("backward", "backward", shard=r):
+                self.model.backward(dl)
             losses.append(loss)
             per_rank_grads.append(self._kfac_flat_grads())
             per_rank_other.append(self._other_flat_grad())
@@ -140,16 +148,89 @@ class DistributedKfacTrainer:
             )
 
         # Step: SGD-gradient allreduce (counted under "others" in Fig. 1).
-        reduced = self.cluster.allreduce(per_rank_grads, average=True, category="grad_allreduce")
-        self._set_kfac_flat_grads(reduced[0])
-        if per_rank_other[0].size:
-            other = self.cluster.allreduce(per_rank_other, average=True, category="grad_allreduce")
-            self._set_other_flat_grad(other[0])
+        with tracer.span("grad_allreduce", "comm"):
+            reduced = self.cluster.allreduce(
+                per_rank_grads, average=True, category="grad_allreduce"
+            )
+            self._set_kfac_flat_grads(reduced[0])
+            if per_rank_other[0].size:
+                other = self.cluster.allreduce(
+                    per_rank_other, average=True, category="grad_allreduce"
+                )
+                self._set_other_flat_grad(other[0])
 
         # Step 2 of Fig. 2: factor allreduce, then running-average fold.
         # With a factor compressor, each rank's local contribution travels
         # compressed; SR's unbiasedness makes per-rank errors average out
         # in the sum (no feedback: factors are re-derived every iteration).
+        with tracer.span("factor_allreduce", "factor", n_layers=len(self.kfac.layers)):
+            self._factor_allreduce(per_rank_factors, world)
+
+        # Step 3: owner-rank eigendecomposition on the refresh schedule.
+        refresh = self.t % self.kfac.inv_update_freq == 0
+        with tracer.span("eigendecomposition", "inverse", refresh=refresh):
+            for i in range(len(self.kfac.layers)):
+                if refresh or not self.kfac.state[i].ready:
+                    self.kfac.compute_eigen(i)
+
+        # Steps 4-5: owners precondition, compress, and eagerly distribute
+        # each layer's result (per-layer broadcast from the owner — the
+        # KAISA communication pattern).
+        wire = 0.0
+        original = 0.0
+        precond: dict[int, np.ndarray] = {}
+        for i in range(len(self.kfac.layers)):
+            with tracer.span("precondition", "precondition", layer=i):
+                pg = self.kfac.precondition(i)
+            original += pg.nbytes
+            if self.compressor is not None:
+                ct = self.compressor.compress(pg)
+                payload_bytes = ct.nbytes
+                with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
+                    received = self.cluster.broadcast(
+                        ct, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
+                    )[0]
+                pg = self.compressor.decompress(received)
+            else:
+                payload_bytes = pg.nbytes
+                with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
+                    pg = self.cluster.broadcast(
+                        pg, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
+                    )[0]
+            wire += payload_bytes
+            precond[i] = pg
+        self.bytes_on_wire.append(wire)
+        self.bytes_original.append(original)
+        if original > 0:
+            self.history.compression_ratios.append(original / max(wire, 1.0))
+
+        # Update step (identical on every rank).
+        if self.lr_schedule is not None:
+            self.kfac.lr = self.lr_schedule.lr_at(self.t)
+        with tracer.span("apply_update", "update"):
+            self.kfac.apply(precond)
+        if isinstance(self.compressor, AdaptiveCompso):
+            self.compressor.step()
+        mean_loss = float(np.mean(losses))
+        self.history.losses.append(mean_loss)
+        self.history.lrs.append(self.kfac.lr)
+        m = get_metrics()
+        if m.enabled:
+            m.gauge("train.loss").set(mean_loss)
+            m.gauge("train.lr").set(self.kfac.lr)
+            m.counter("train.steps").inc()
+            if original > 0:
+                m.histogram("train.step_compression_ratio").observe(original / max(wire, 1.0))
+            m.record_step(self.t, sim_time=self.cluster.time)
+        self.t += 1
+        self.kfac.t = self.t
+        return mean_loss
+
+    def _factor_allreduce(
+        self,
+        per_rank_factors: list[list[tuple[np.ndarray, np.ndarray]]],
+        world: int,
+    ) -> None:
         for i in range(len(self.kfac.layers)):
             wire_bytes: float | None = None
             if self.factor_compressor is not None:
@@ -178,53 +259,6 @@ class DistributedKfacTrainer:
             A = red[: da * da].reshape(da, da)
             G = red[da * da :].reshape(per_rank_factors[0][i][1].shape)
             self.kfac.accumulate_factors(i, A, G)
-
-        # Step 3: owner-rank eigendecomposition on the refresh schedule.
-        refresh = self.t % self.kfac.inv_update_freq == 0
-        for i in range(len(self.kfac.layers)):
-            if refresh or not self.kfac.state[i].ready:
-                self.kfac.compute_eigen(i)
-
-        # Steps 4-5: owners precondition, compress, and eagerly distribute
-        # each layer's result (per-layer broadcast from the owner — the
-        # KAISA communication pattern).
-        wire = 0.0
-        original = 0.0
-        precond: dict[int, np.ndarray] = {}
-        for i in range(len(self.kfac.layers)):
-            pg = self.kfac.precondition(i)
-            original += pg.nbytes
-            if self.compressor is not None:
-                ct = self.compressor.compress(pg)
-                payload_bytes = ct.nbytes
-                received = self.cluster.broadcast(
-                    ct, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
-                )[0]
-                pg = self.compressor.decompress(received)
-            else:
-                payload_bytes = pg.nbytes
-                pg = self.cluster.broadcast(
-                    pg, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
-                )[0]
-            wire += payload_bytes
-            precond[i] = pg
-        self.bytes_on_wire.append(wire)
-        self.bytes_original.append(original)
-        if original > 0:
-            self.history.compression_ratios.append(original / max(wire, 1.0))
-
-        # Update step (identical on every rank).
-        if self.lr_schedule is not None:
-            self.kfac.lr = self.lr_schedule.lr_at(self.t)
-        self.kfac.apply(precond)
-        if isinstance(self.compressor, AdaptiveCompso):
-            self.compressor.step()
-        mean_loss = float(np.mean(losses))
-        self.history.losses.append(mean_loss)
-        self.history.lrs.append(self.kfac.lr)
-        self.t += 1
-        self.kfac.t = self.t
-        return mean_loss
 
     def train(self, *, iterations: int, batch_size: int, eval_every: int = 0, seed: int = 0):
         for t, idx in enumerate(

@@ -1,0 +1,222 @@
+"""Counters, gauges, and histograms with per-step snapshots.
+
+A :class:`MetricsRegistry` holds labelled instruments keyed by
+``(name, labels)``; instrumented code fetches them by name each call
+(get-or-create), so hot paths need no registry handle of their own.
+When telemetry is disabled, :func:`get_metrics` returns the singleton
+:data:`NULL_METRICS` whose instruments are shared no-ops.
+
+The registry is thread-safe and supports *per-step snapshots*: trainers
+call ``record_step(step)`` once per iteration, freezing every
+instrument's current value so the JSONL export can reconstruct metric
+time series (compression ratio per step, wire bytes per step, ...).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total."""
+
+    name: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "name": self.name, "labels": self.labels, "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins scalar."""
+
+    name: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "name": self.name, "labels": self.labels, "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Streaming summary: count / sum / min / max / last."""
+
+    name: str
+    labels: dict = field(default_factory=dict)
+    count: int = 0
+    total: float = 0.0
+    vmin: float = float("inf")
+    vmax: float = float("-inf")
+    last: float = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.last = value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "labels": self.labels,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "mean": self.mean,
+            "last": self.last,
+        }
+
+
+def _key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create store of labelled instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+        #: Per-step frozen snapshots appended by :meth:`record_step`.
+        self.steps: list[dict] = []
+
+    def _get(self, cls, name: str, labels: dict):
+        key = _key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = cls(name, dict(labels))
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r}{labels} already registered as {type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def snapshot(self) -> list[dict]:
+        """Stable-ordered snapshot of every instrument's current state."""
+        with self._lock:
+            metrics = sorted(self._metrics.items(), key=lambda kv: kv[0])
+        return [m.snapshot() for _, m in metrics]
+
+    def record_step(self, step: int, **extra) -> dict:
+        """Freeze all instruments under a step index (plus extra fields)."""
+        record = {"step": int(step), **extra, "metrics": self.snapshot()}
+        with self._lock:
+            self.steps.append(record)
+        return record
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+            self.steps.clear()
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    last = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+    steps: list[dict] = []
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> list[dict]:
+        return []
+
+    def record_step(self, step: int, **extra) -> dict:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+_active_metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry | NullMetricsRegistry:
+    """The process-wide active registry (the null registry when disabled)."""
+    return _active_metrics
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry | NullMetricsRegistry:
+    """Install ``registry`` (None disables); returns the previous one."""
+    global _active_metrics
+    previous = _active_metrics
+    _active_metrics = registry if registry is not None else NULL_METRICS
+    return previous

@@ -15,6 +15,7 @@ import numpy as np
 from repro.compression.base import GradientCompressor
 from repro.data.loaders import batch_indices, shard
 from repro.distributed.cluster import SimCluster
+from repro.telemetry import get_metrics, get_tracer
 
 __all__ = ["TrainHistory", "train_single", "DistributedSgdTrainer"]
 
@@ -48,15 +49,20 @@ def train_single(
 ) -> TrainHistory:
     """Train on one worker; returns the loss/metric history."""
     history = TrainHistory()
+    tracer = get_tracer()
     for t, idx in enumerate(batch_indices(task.n, batch_size, iterations=iterations, seed=seed)):
         if lr_schedule is not None:
             optimizer.lr = lr_schedule.lr_at(t)
         x, y = task.batch(idx)
-        out = model(x)
-        loss, dl = task.loss_and_grad(out, y)
-        optimizer.zero_grad()
-        model.backward(dl)
-        optimizer.step()
+        with tracer.span("step", "step", step=t):
+            with tracer.span("forward", "forward"):
+                out = model(x)
+                loss, dl = task.loss_and_grad(out, y)
+            optimizer.zero_grad()
+            with tracer.span("backward", "backward"):
+                model.backward(dl)
+            with tracer.span("apply_update", "update"):
+                optimizer.step()
         history.losses.append(loss)
         history.lrs.append(optimizer.lr)
         if eval_every and (t + 1) % eval_every == 0:
@@ -102,15 +108,22 @@ class DistributedSgdTrainer:
             pos += p.size
 
     def step(self, global_idx: np.ndarray) -> float:
+        tracer = get_tracer()
+        with tracer.span("step", "step", step=self.t):
+            return self._step(global_idx, tracer)
+
+    def _step(self, global_idx: np.ndarray, tracer) -> float:
         shards = shard(global_idx, self.cluster.world_size)
         per_rank_grads: list[np.ndarray] = []
         losses: list[float] = []
         for r, idx in enumerate(shards):
             self.model.zero_grad()
             x, y = self.task.batch(idx)
-            out = self.model(x)
-            loss, dl = self.task.loss_and_grad(out, y)
-            self.model.backward(dl)
+            with tracer.span("forward", "forward", shard=r):
+                out = self.model(x)
+                loss, dl = self.task.loss_and_grad(out, y)
+            with tracer.span("backward", "backward", shard=r):
+                self.model.backward(dl)
             g = self._flat_grad()
             if self.compressor is not None:
                 ct = self.compressor.compress(g)
@@ -118,14 +131,23 @@ class DistributedSgdTrainer:
                 g = self.compressor.decompress(ct).ravel()
             per_rank_grads.append(g)
             losses.append(loss)
-        reduced = self.cluster.allreduce(per_rank_grads, average=True, category="grad_allreduce")
+        with tracer.span("grad_allreduce", "comm"):
+            reduced = self.cluster.allreduce(
+                per_rank_grads, average=True, category="grad_allreduce"
+            )
         self._set_flat_grad(reduced[0])
         if self.lr_schedule is not None:
             self.optimizer.lr = self.lr_schedule.lr_at(self.t)
-        self.optimizer.step()
+        with tracer.span("apply_update", "update"):
+            self.optimizer.step()
         mean_loss = float(np.mean(losses))
         self.history.losses.append(mean_loss)
         self.history.lrs.append(self.optimizer.lr)
+        m = get_metrics()
+        if m.enabled:
+            m.gauge("train.loss").set(mean_loss)
+            m.counter("train.steps").inc()
+            m.record_step(self.t, sim_time=self.cluster.time)
         self.t += 1
         return mean_loss
 

@@ -130,6 +130,25 @@ class TestSimCluster:
         got = cl.broadcast("payload", root=2, nbytes=100)
         assert got == ["payload"] * 4
 
+    def test_broadcast_array_results_independent_copies(self):
+        # Regression: non-root ranks used to receive the root's own array
+        # object, so one rank's in-place update leaked to every other rank.
+        cl = SimCluster(1, 4)
+        payload = np.ones(5)
+        got = cl.broadcast(payload, root=2)
+        assert got[2] is payload  # root keeps its own buffer (MPI semantics)
+        got[0][0] = 99.0
+        assert got[1][0] == 1.0 and got[3][0] == 1.0 and payload[0] == 1.0
+
+    def test_allgather_array_results_independent_copies(self):
+        # Regression: every rank used to see the same array objects.
+        cl = SimCluster(1, 3)
+        contribs = [np.full(4, float(r)) for r in range(3)]
+        got = cl.allgather(contribs)
+        got[0][1][0] = 99.0
+        assert got[1][1][0] == 1.0 and got[2][1][0] == 1.0
+        assert contribs[1][0] == 1.0
+
     def test_reduce_scatter_chunks(self):
         cl = SimCluster(1, 4)
         arrays = [np.arange(8, dtype=np.float64) for _ in range(4)]
