@@ -36,6 +36,7 @@ __all__ = [
     "distributed",
     "kfac_dist",
     "gpusim",
+    "faults",
     "data",
     "train",
     "telemetry",

@@ -9,6 +9,9 @@ Commands:
 * ``trace`` — run a short simulated training job with telemetry enabled
   and write a Chrome trace (``chrome://tracing`` / Perfetto), a metrics
   JSONL dump, and a plain-text summary;
+* ``chaos`` — run a scripted fault-injection scenario against a clean
+  baseline and report convergence delta, recovery counters, and
+  time-to-recover;
 * ``experiments`` — list the paper's tables/figures and their benches.
 """
 
@@ -33,6 +36,7 @@ _EXPERIMENTS = [
     ("Fig. 9", "end-to-end performance gain", "bench_fig09_end2end.py"),
     ("Ablations", "adaptive/aggregation/fusion/packing", "bench_ablation_*.py"),
     ("Sec. 7", "future work: autotune + factor compression", "bench_ext_future_work.py"),
+    ("Robustness", "chaos scenarios vs fault-free twin", "bench_ext_chaos.py"),
 ]
 
 
@@ -177,6 +181,35 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import make_plan, run_chaos
+
+    plan = make_plan(
+        args.scenario, args.nodes * args.gpus_per_node, args.iterations, seed=args.seed
+    )
+    print(plan.describe())
+    print()
+    result = run_chaos(
+        args.scenario,
+        nodes=args.nodes,
+        gpus_per_node=args.gpus_per_node,
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    print(result.summary())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(result.to_dict(), f, indent=2)
+        print(f"\nwrote {args.json}")
+    if not result.completed:
+        print("ERROR: faulted run did not complete all iterations", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[0]) for e in _EXPERIMENTS)
     for tag, desc, bench in _EXPERIMENTS:
@@ -213,6 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="trace.json", help="Chrome trace output path")
     p.add_argument("--metrics-out", default="metrics.jsonl", help="metrics JSONL path ('' skips)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("chaos", help="run a fault-injection scenario vs a clean baseline")
+    from repro.faults.chaos import SCENARIOS
+
+    p.add_argument("--scenario", default="mixed", choices=SCENARIOS)
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--gpus-per-node", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=12)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default="", help="write the ChaosResult as JSON to this path")
+    p.set_defaults(func=cmd_chaos)
 
     sub.add_parser("experiments", help="list paper artefacts and benches").set_defaults(
         func=cmd_experiments

@@ -50,6 +50,19 @@ class ErrorFeedback(GradientCompressor):
         """Drop all residual state."""
         self._residuals.clear()
 
+    def residual_norm(self) -> float:
+        """L2 norm over every residual buffer.
+
+        The fault-tolerance layer watches this: an exploding residual
+        means the compressor is systematically dropping signal (e.g.
+        after corruption-induced bound loosening) and the trainer should
+        reset EF state and degrade to a conservative compression mode.
+        """
+        total = 0.0
+        for r in self._residuals.values():
+            total += float(np.dot(r.ravel(), r.ravel()))
+        return float(np.sqrt(total))
+
     @property
     def memory_overhead_bytes(self) -> int:
         """Bytes of residual state currently held — the cost the paper

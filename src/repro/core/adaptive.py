@@ -101,7 +101,14 @@ class SmoothLrSchedule:
 
 
 class AdaptiveCompso(GradientCompressor):
-    """COMPSO with the iteration-wise adaptive bound schedule attached."""
+    """COMPSO with the iteration-wise adaptive bound schedule attached.
+
+    Also the home of COMPSO's *graceful degradation* path: when the
+    fault-tolerance layer detects payload corruption, or an error-
+    feedback residual norm explodes, :meth:`degrade` drops to a
+    conservative near-lossless mode (filter off, tight SR bound) for a
+    few iterations, then the adaptive schedule re-tightens control.
+    """
 
     def __init__(
         self,
@@ -109,15 +116,24 @@ class AdaptiveCompso(GradientCompressor):
         *,
         encoder: str = "ans",
         seed: int | np.random.Generator | None = 0,
+        fallback: Bounds = Bounds(0.0, 1e-4),
     ):
+        if fallback.eb_q <= 0:
+            raise ValueError("fallback eb_q must be > 0")
         self.schedule = schedule
         self.inner = CompsoCompressor(encoder=encoder, seed=seed)
         self.iteration = 0
+        self.fallback = fallback
+        self._degraded_until = 0
         self.name = f"compso-adaptive-{encoder}"
         self._apply(0)
 
     def _apply(self, iteration: int) -> Bounds:
-        b = self.schedule.bounds_at(iteration)
+        if iteration < self._degraded_until:
+            scheduled = self.schedule.bounds_at(iteration)
+            b = Bounds(self.fallback.eb_f, min(self.fallback.eb_q, scheduled.eb_q))
+        else:
+            b = self.schedule.bounds_at(iteration)
         # eb_f == 0 disables filtering inside CompsoCompressor.
         self.inner.set_bounds(b.eb_f, b.eb_q)
         return b
@@ -127,8 +143,29 @@ class AdaptiveCompso(GradientCompressor):
         self.iteration += 1
         return self._apply(self.iteration)
 
+    def degrade(self, iterations: int = 2) -> Bounds:
+        """Fall back to the conservative bounds for the next ``iterations``.
+
+        Called by the fault-tolerance layer on detected corruption or an
+        exploding error-feedback residual.  Takes effect immediately and
+        lapses on its own: once the window passes, ``step()`` re-applies
+        the scheduled (adaptive) bounds.
+        """
+        if iterations < 1:
+            raise ValueError("degrade window must be >= 1 iteration")
+        self._degraded_until = max(self._degraded_until, self.iteration + iterations)
+        return self._apply(self.iteration)
+
+    @property
+    def degraded(self) -> bool:
+        return self.iteration < self._degraded_until
+
     @property
     def bounds(self) -> Bounds:
+        """Bounds in force right now (degradation included)."""
+        if self.degraded:
+            scheduled = self.schedule.bounds_at(self.iteration)
+            return Bounds(self.fallback.eb_f, min(self.fallback.eb_q, scheduled.eb_q))
         return self.schedule.bounds_at(self.iteration)
 
     def compress(self, x: np.ndarray) -> CompressedTensor:

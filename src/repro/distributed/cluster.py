@@ -11,6 +11,15 @@ are barriers).
 All collectives take *per-rank lists* (index = rank) because ranks
 execute sequentially in one process.  This mirrors mpi4py's buffer
 semantics — ``allreduce(sendbufs) -> recvbufs`` — without real processes.
+
+With a :class:`~repro.faults.plan.FaultPlan` attached, the cluster
+consults its :class:`~repro.faults.controller.FaultController` on every
+collective: stragglers and jitter stretch individual rank clocks (other
+ranks pay at the next barrier), link-degradation windows scale the
+alpha-beta network parameters, payload copies can be bit-flipped or
+dropped, and scheduled rank failures shrink the active world at
+iteration boundaries.  Without a plan (or with an empty one) every code
+path is bit-identical to the fault-free build.
 """
 
 from __future__ import annotations
@@ -27,6 +36,8 @@ from repro.distributed.collectives import (
     reduce_scatter_time,
 )
 from repro.distributed.network import PLATFORM1, NetworkSpec, Platform
+from repro.faults.controller import FaultController
+from repro.faults.plan import FailureEvent, FaultPlan
 from repro.telemetry import SIM_TRACK, get_metrics, get_tracer
 from repro.util.seeding import rng_for_rank
 
@@ -54,21 +65,93 @@ class SimCluster:
         network: NetworkSpec | None = None,
         platform: Platform | None = None,
         seed: int = 0,
+        fault_plan: FaultPlan | None = None,
     ):
         if platform is not None:
             network = platform.network
             gpus_per_node = platform.gpus_per_node
         self.platform = platform
-        self.network = network if network is not None else PLATFORM1.network
+        self._network = network if network is not None else PLATFORM1.network
         self.n_nodes = n_nodes
         self.gpus_per_node = gpus_per_node
-        self.world_size = n_nodes * gpus_per_node
-        if self.world_size < 1:
+        world = n_nodes * gpus_per_node
+        if world < 1:
             raise ValueError("cluster must have at least one rank")
         self.ranks = [
             SimRank(r, r // gpus_per_node, SimClock(), rng_for_rank(seed, r))
-            for r in range(self.world_size)
+            for r in range(world)
         ]
+        #: Ranks permanently lost to scheduled failures (clocks frozen).
+        self.lost_ranks: list[SimRank] = []
+        # An empty plan must behave exactly like no plan, so it is
+        # discarded here rather than special-cased on every hot path.
+        self.faults: FaultController | None = None
+        if fault_plan is not None and not fault_plan.is_empty():
+            self.faults = FaultController(fault_plan, world)
+
+    @property
+    def world_size(self) -> int:
+        """Number of *live* ranks (shrinks when scheduled failures fire)."""
+        return len(self.ranks)
+
+    @property
+    def network(self) -> NetworkSpec:
+        """The fabric spec, degraded while a degradation window is active."""
+        if self.faults is not None:
+            return self.faults.effective_network(self._network)
+        return self._network
+
+    @network.setter
+    def network(self, spec: NetworkSpec) -> None:
+        self._network = spec
+
+    # -- fault plane ---------------------------------------------------------
+
+    def begin_iteration(self, iteration: int) -> list[FailureEvent]:
+        """Advance the fault schedule to ``iteration``; apply due failures.
+
+        Returns one :class:`FailureEvent` per newly dead rank, carrying
+        the rank's position in the *pre-removal* active list so callers
+        can fix up position-indexed state (layer ownership tables).
+        Without a fault plan this is free and returns nothing.
+        """
+        if self.faults is None:
+            return []
+        due = self.faults.begin_iteration(iteration)
+        events = [
+            FailureEvent(f.rank, pos, iteration, f.recoverable)
+            for f in due
+            for pos in [self._position_of(f.rank)]
+            if pos is not None
+        ]
+        if events:
+            dead = {e.rank for e in events}
+            if len(dead) >= len(self.ranks):
+                raise RuntimeError("fault plan killed every remaining rank")
+            tracer = get_tracer()
+            for r in self.ranks:
+                if r.rank in dead:
+                    self.lost_ranks.append(r)
+                    if tracer.enabled:
+                        tracer.add_span(
+                            "rank_failure",
+                            "fault_event",
+                            0.0,
+                            start=r.clock.now,
+                            track=SIM_TRACK,
+                            rank=r.rank,
+                        )
+            self.ranks = [r for r in self.ranks if r.rank not in dead]
+            m = get_metrics()
+            if m.enabled:
+                m.gauge("faults.world_size").set(self.world_size)
+        return events
+
+    def _position_of(self, rank_id: int) -> int | None:
+        for i, r in enumerate(self.ranks):
+            if r.rank == rank_id:
+                return i
+        return None
 
     # -- time plane helpers --------------------------------------------------
 
@@ -81,8 +164,17 @@ class SimCluster:
         span: a ``wait`` span per rank that blocks at the barrier, then
         one ``op`` span per rank for the collective itself — so per-rank
         span totals reconcile exactly with :meth:`breakdown`.
+
+        Active stragglers/jitter add per-rank ``fault_delay`` time on top
+        of the collective; the slowed rank pays immediately and everyone
+        else pays at the next barrier, exactly like a real straggler.
         """
         tracer = get_tracer()
+        extras: dict[int, float] = {}
+        if self.faults is not None:
+            extras = self.faults.collective_extras(
+                op or category, seconds, [r.rank for r in self.ranks]
+            )
         t = max(r.clock.now for r in self.ranks)
         for r in self.ranks:
             if tracer.enabled and t > r.clock.now:
@@ -107,6 +199,19 @@ class SimCluster:
                     rank=r.rank,
                     **attrs,
                 )
+            extra = extras.get(r.rank, 0.0)
+            if extra > 0.0:
+                r.clock.advance(extra, "fault_delay")
+                if tracer.enabled:
+                    tracer.add_span(
+                        "fault_delay",
+                        "fault_delay",
+                        extra,
+                        start=t + seconds,
+                        track=SIM_TRACK,
+                        rank=r.rank,
+                        op=op or category,
+                    )
 
     def _record_collective(
         self, op: str, seconds: float, raw_nbytes: float, wire_nbytes: float
@@ -180,13 +285,22 @@ class SimCluster:
 
         ``nbytes`` overrides the modelled wire size (used when the
         payload travels compressed, e.g. factor compression).
+
+        A rank hit by a :class:`~repro.faults.plan.DroppedContribution`
+        fault is excluded from the sum and the averaging denominator —
+        the collective gracefully degrades to the surviving contributors.
         """
         self._check(arrays)
+        skip: set[int] = set()
+        if self.faults is not None:
+            dropped = self.faults.dropped_ranks("allreduce", [r.rank for r in self.ranks])
+            skip = {i for i, r in enumerate(self.ranks) if r.rank in dropped}
         total = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
-        for a in arrays:
-            total += a
+        for i, a in enumerate(arrays):
+            if i not in skip:
+                total += a
         if average:
-            total /= self.world_size
+            total /= self.world_size - len(skip)
         result = total.astype(np.asarray(arrays[0]).dtype)
         wire = result.nbytes if nbytes is None else nbytes
         seconds = allreduce_time(self.network, self.world_size, wire, self.gpus_per_node)
@@ -234,10 +348,33 @@ class SimCluster:
         # Real MPI allgather copies every contribution into each rank's
         # recvbuf; hand out per-rank copies of array payloads so an
         # in-place mutation on one simulated rank cannot leak into others.
-        return [
-            [o.copy() if isinstance(o, np.ndarray) else o for o in objects]
-            for _ in range(self.world_size)
-        ]
+        out: list[list[object]] = []
+        for pos, receiver in enumerate(self.ranks):
+            copies = [o.copy() if isinstance(o, np.ndarray) else o for o in objects]
+            if self.faults is not None:
+                for src in range(len(copies)):
+                    if src == pos:
+                        continue  # a rank's own contribution never hits the wire
+                    copies[src] = self._maybe_corrupt(copies[src], receiver, "allgather")
+            out.append(copies)
+        return out
+
+    def _maybe_corrupt(self, obj: object, receiver: SimRank, op: str) -> object:
+        """Receiver-side data-plane injection for one payload copy."""
+        corrupted, hit = self.faults.maybe_corrupt(obj, rank=receiver.rank, op=op)
+        if hit:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.add_span(
+                    "corruption",
+                    "fault_event",
+                    0.0,
+                    start=receiver.clock.now,
+                    track=SIM_TRACK,
+                    rank=receiver.rank,
+                    op=op,
+                )
+        return corrupted
 
     def broadcast(
         self, obj: object, root: int = 0, *, nbytes: float | None = None, category: str = "broadcast"
@@ -259,29 +396,49 @@ class SimCluster:
         # The root keeps its own buffer (MPI semantics); every other rank
         # receives a private copy of array payloads, so in-place edits on
         # one simulated rank cannot alias into the rest.
-        return [
+        out = [
             obj if r == root or not isinstance(obj, np.ndarray) else obj.copy()
             for r in range(self.world_size)
         ]
+        if self.faults is not None:
+            for pos, receiver in enumerate(self.ranks):
+                if pos == root:
+                    continue  # the sender's buffer never crosses the wire
+                out[pos] = self._maybe_corrupt(out[pos], receiver, "broadcast")
+        return out
 
     def reduce_scatter(
-        self, arrays: list[np.ndarray], *, category: str = "reduce_scatter"
+        self,
+        arrays: list[np.ndarray],
+        *,
+        category: str = "reduce_scatter",
+        nbytes: float | None = None,
     ) -> list[np.ndarray]:
-        """Sum per-rank arrays, then scatter equal chunks back."""
+        """Sum per-rank arrays, then scatter equal chunks back.
+
+        ``nbytes`` overrides the modelled wire size, like ``allreduce``'s
+        — required to cost compressed payloads through this collective.
+        """
         self._check(arrays)
+        skip: set[int] = set()
+        if self.faults is not None:
+            dropped = self.faults.dropped_ranks("reduce_scatter", [r.rank for r in self.ranks])
+            skip = {i for i, r in enumerate(self.ranks) if r.rank in dropped}
         total = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
-        for a in arrays:
-            total += a
+        for i, a in enumerate(arrays):
+            if i not in skip:
+                total += a
         p = self.world_size
         flat = total.ravel()
         chunks = np.array_split(flat, p)
-        seconds = reduce_scatter_time(self.network, p, total.nbytes, self.gpus_per_node)
-        self._record_collective("reduce_scatter", seconds, total.nbytes, total.nbytes)
+        wire = total.nbytes if nbytes is None else nbytes
+        seconds = reduce_scatter_time(self.network, p, wire, self.gpus_per_node)
+        self._record_collective("reduce_scatter", seconds, total.nbytes, wire)
         self._barrier_and_advance(
             seconds,
             category,
             op="reduce_scatter",
             nbytes_raw=total.nbytes,
-            nbytes_wire=total.nbytes,
+            nbytes_wire=wire,
         )
         return [c.astype(np.asarray(arrays[0]).dtype).copy() for c in chunks]

@@ -1,0 +1,57 @@
+"""Fault injection, retry/recovery, and graceful degradation.
+
+The subsystem has three layers, all inert unless a fault plan is given:
+
+* **injection** — :class:`FaultPlan` (a seeded, deterministic schedule
+  of time-plane and data-plane faults) interpreted at run time by
+  :class:`FaultController`, which ``SimCluster`` consults on every
+  collective;
+* **tolerance** — CRC32 payload seals (:mod:`repro.faults.checksum`),
+  the detect→retransmit :class:`ReliableChannel` with capped exponential
+  backoff, compressor degradation hooks, and elastic continuation in the
+  trainers (world shrink + ownership reassignment + checkpoint restore);
+* **observability** — every fault, retry, degrade, and recovery emits
+  telemetry counters (``faults.injected`` / ``faults.detected`` /
+  ``faults.recovered`` ...) and sim-track spans, and lands in the
+  controller's materialised event log.
+
+Chaos scenario presets and the end-to-end harness behind ``repro chaos``
+live in :mod:`repro.faults.chaos` (imported lazily by the CLI and the
+chaos bench to keep this package's import graph acyclic).
+"""
+
+from repro.faults.checksum import CHECKSUM_BYTES, is_sealed, payload_crc, seal, verify
+from repro.faults.controller import FaultController
+from repro.faults.injection import corrupt_payload, flip_bits
+from repro.faults.plan import (
+    DroppedContribution,
+    FailureEvent,
+    FaultPlan,
+    Jitter,
+    LinkDegradation,
+    PayloadCorruption,
+    RankFailure,
+    Straggler,
+)
+from repro.faults.recovery import ReliableChannel, TransferReport
+
+__all__ = [
+    "CHECKSUM_BYTES",
+    "DroppedContribution",
+    "FailureEvent",
+    "FaultController",
+    "FaultPlan",
+    "Jitter",
+    "LinkDegradation",
+    "PayloadCorruption",
+    "RankFailure",
+    "ReliableChannel",
+    "Straggler",
+    "TransferReport",
+    "corrupt_payload",
+    "flip_bits",
+    "is_sealed",
+    "payload_crc",
+    "seal",
+    "verify",
+]

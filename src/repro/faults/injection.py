@@ -1,0 +1,55 @@
+"""Data-plane fault injection: deterministic bit flips in payloads.
+
+Corruption happens to *copies* — the sender's buffer is never mutated —
+mirroring a real network where the wire damages one receiver's bytes
+while the source stays intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedTensor
+
+__all__ = ["flip_bits", "corrupt_payload"]
+
+
+def flip_bits(data: bytes, rng: np.random.Generator, n_bits: int = 1) -> bytes:
+    """Return ``data`` with ``n_bits`` random bit positions flipped."""
+    if not data:
+        return data
+    buf = bytearray(data)
+    for _ in range(n_bits):
+        pos = int(rng.integers(0, len(buf)))
+        buf[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(buf)
+
+
+def corrupt_payload(obj: object, rng: np.random.Generator, n_bits: int = 1) -> object:
+    """Return a corrupted copy of a collective payload.
+
+    * :class:`CompressedTensor` — flip bits in one randomly chosen
+      non-empty segment (the checksum layer can then detect it);
+    * ``numpy.ndarray`` — flip bits in the raw buffer (silent data
+      corruption: nothing on an unprotected path will notice);
+    * ``bytes`` — flip bits directly.
+
+    Payloads with no corruptible bytes are returned unchanged.
+    """
+    if isinstance(obj, CompressedTensor):
+        names = [k for k, seg in obj.segments.items() if seg]
+        if not names:
+            return obj
+        target = names[int(rng.integers(0, len(names)))]
+        segments = dict(obj.segments)
+        segments[target] = flip_bits(segments[target], rng, n_bits)
+        return CompressedTensor(segments, obj.shape, meta=dict(obj.meta))
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes == 0:
+            return obj
+        flat = bytearray(obj.tobytes())
+        flat = flip_bits(bytes(flat), rng, n_bits)
+        return np.frombuffer(flat, dtype=obj.dtype).reshape(obj.shape).copy()
+    if isinstance(obj, bytes):
+        return flip_bits(obj, rng, n_bits)
+    return obj

@@ -21,16 +21,21 @@ allgather pattern avoids ring-allreduce error propagation.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.compression.base import GradientCompressor
 from repro.core.adaptive import AdaptiveCompso
 from repro.data.loaders import batch_indices, shard
 from repro.distributed.cluster import SimCluster
+from repro.faults.plan import FailureEvent
+from repro.faults.recovery import ReliableChannel
 from repro.kfac_dist.assignment import assign_layers, eig_cost
 from repro.optim.kfac import Kfac
 from repro.telemetry import get_metrics, get_tracer
 from repro.train.trainer import TrainHistory
+from repro.util.checkpoint import load_checkpoint, save_checkpoint
 
 __all__ = ["DistributedKfacTrainer"]
 
@@ -53,6 +58,8 @@ class DistributedKfacTrainer:
         kl_clip: float = 1e-3,
         compressor: GradientCompressor | None = None,
         factor_compressor: GradientCompressor | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 0,
     ):
         self.model = model
         self.task = task
@@ -81,6 +88,12 @@ class DistributedKfacTrainer:
         #: Wire bytes actually allgathered (compressed) per iteration.
         self.bytes_on_wire: list[float] = []
         self.bytes_original: list[float] = []
+        # Fault tolerance: checksummed transfers when faults are in play,
+        # periodic checkpoints for hard-failure recovery.
+        self._channel = ReliableChannel(cluster) if cluster.faults is not None else None
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.checkpoint_every = checkpoint_every
+        self._last_checkpoint: Path | None = None
 
     def _layer_dims(self, idx: int) -> tuple[int, int]:
         layer = self.kfac.layers[idx]
@@ -126,7 +139,15 @@ class DistributedKfacTrainer:
             return self._step(global_idx, tracer)
 
     def _step(self, global_idx: np.ndarray, tracer) -> float:
+        failures = self.cluster.begin_iteration(self.t)
+        if failures:
+            self._recover_from_failures(failures, tracer)
         world = self.cluster.world_size
+        if self.cluster.faults is not None and len(global_idx) % world:
+            # Elastic continuation: after a world shrink the global batch
+            # may not divide evenly; trim the remainder so shards stay
+            # consistent (averaging rescales automatically to the new world).
+            global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
         shards = shard(global_idx, world)
         losses: list[float] = []
         per_rank_grads: list[np.ndarray] = []
@@ -152,12 +173,12 @@ class DistributedKfacTrainer:
             reduced = self.cluster.allreduce(
                 per_rank_grads, average=True, category="grad_allreduce"
             )
-            self._set_kfac_flat_grads(reduced[0])
+            self._set_kfac_flat_grads(self._sanitize(reduced[0]))
             if per_rank_other[0].size:
                 other = self.cluster.allreduce(
                     per_rank_other, average=True, category="grad_allreduce"
                 )
-                self._set_other_flat_grad(other[0])
+                self._set_other_flat_grad(self._sanitize(other[0]))
 
         # Step 2 of Fig. 2: factor allreduce, then running-average fold.
         # With a factor compressor, each rank's local contribution travels
@@ -183,7 +204,9 @@ class DistributedKfacTrainer:
             with tracer.span("precondition", "precondition", layer=i):
                 pg = self.kfac.precondition(i)
             original += pg.nbytes
-            if self.compressor is not None:
+            if self.compressor is not None and self._channel is not None:
+                pg, payload_bytes = self._reliable_allgather(pg, i, tracer)
+            elif self.compressor is not None:
                 ct = self.compressor.compress(pg)
                 payload_bytes = ct.nbytes
                 with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
@@ -260,6 +283,111 @@ class DistributedKfacTrainer:
             G = red[da * da :].reshape(per_rank_factors[0][i][1].shape)
             self.kfac.accumulate_factors(i, A, G)
 
+    # -- fault tolerance -------------------------------------------------------
+
+    def _sanitize(self, flat: np.ndarray) -> np.ndarray:
+        """Replace non-finite gradient entries after data-plane faults.
+
+        Silent corruption of a raw allreduce payload can surface as
+        NaN/Inf; zeroing the poisoned entries keeps the update bounded
+        (graceful degradation) instead of destroying the parameters.
+        Fault-free runs never pay for the scan.
+        """
+        if self.cluster.faults is None or np.isfinite(flat).all():
+            return flat
+        m = get_metrics()
+        if m.enabled:
+            m.counter("faults.recovered", kind="sanitized_gradient").inc()
+        return np.nan_to_num(flat, nan=0.0, posinf=0.0, neginf=0.0)
+
+    def _reliable_allgather(self, pg: np.ndarray, layer: int, tracer) -> tuple[np.ndarray, float]:
+        """Checksummed compressed broadcast with retransmit + degradation.
+
+        Returns the decoded gradient and the wire bytes actually spent
+        (every retransmission and the checksum overhead included).  An
+        unrecoverable transfer falls back to resending the raw tensor —
+        the lossless path — and degrades the compressor for the next few
+        iterations.
+        """
+        ct = self.compressor.compress(pg)
+        with tracer.span("allgather", "comm", layer=layer, nbytes=ct.nbytes, reliable=True):
+            sealed, report = self._channel.broadcast(
+                ct, root=self.owners[layer], category="kfac_allgather"
+            )
+        wire = float(sealed.nbytes) * report.wire_bytes_factor
+        if report.unrecoverable:
+            root = self.owners[layer]
+            with tracer.span("lossless_fallback", "comm", layer=layer, nbytes=pg.nbytes):
+                # Take the root's own copy: the raw resend is the last line
+                # of defence, and the owner's buffer is by construction
+                # uncorrupted (faults hit receivers, never the sender).
+                pg = self.cluster.broadcast(
+                    pg, root=root, nbytes=pg.nbytes, category="kfac_allgather"
+                )[root]
+            wire += pg.nbytes
+            m = get_metrics()
+            if m.enabled:
+                m.counter("faults.recovered", kind="lossless_fallback").inc()
+            self._degrade_compressor()
+            return pg, wire
+        if report.detected:
+            self._degrade_compressor()
+        return self.compressor.decompress(sealed), wire
+
+    def _degrade_compressor(self) -> None:
+        degrade = getattr(self.compressor, "degrade", None)
+        if degrade is None:
+            return
+        degrade()
+        m = get_metrics()
+        if m.enabled:
+            m.counter("faults.recovered", kind="degrade").inc()
+
+    def _recover_from_failures(self, failures: list[FailureEvent], tracer) -> None:
+        """Elastic continuation after permanent rank loss.
+
+        The world has already shrunk (``cluster.begin_iteration``); here
+        the trainer repairs position-indexed state: restore from the
+        latest checkpoint if the failure was unrecoverable, otherwise
+        invalidate the dead ranks' eigendecompositions so the new owners
+        rebuild them, then reassign layer ownership over the survivors.
+        """
+        m = get_metrics()
+        with tracer.span("recover", "fault", n_failures=len(failures)):
+            hard = [f for f in failures if not f.recoverable]
+            if hard and self._last_checkpoint is not None:
+                self.restore_state(self._last_checkpoint)
+                if m.enabled:
+                    m.counter("faults.recovered", kind="checkpoint_restore").inc()
+            else:
+                dead_positions = {f.index for f in failures}
+                for i, owner in enumerate(self.owners):
+                    if owner in dead_positions:
+                        st = self.kfac.state[i]
+                        st.QA = st.vA = st.QG = st.vG = None
+                        if m.enabled:
+                            m.counter("faults.recovered", kind="eigen_rebuild").inc()
+            costs = [eig_cost(*self._layer_dims(i)) for i in range(len(self.kfac.layers))]
+            self.owners = assign_layers(costs, self.cluster.world_size)
+            if m.enabled:
+                m.counter("faults.recovered", kind="rank_failure").inc(len(failures))
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def save_state(self, path: str | Path) -> Path:
+        """Atomic full-state checkpoint (model, K-FAC, compressor)."""
+        path = Path(path)
+        save_checkpoint(path, self.model, self.kfac, compressor=self.compressor)
+        self._last_checkpoint = path
+        return path
+
+    def restore_state(self, path: str | Path) -> None:
+        """Restore a :meth:`save_state` checkpoint and resume its exact
+        trajectory (momentum, eigen state, adaptive bounds, SR RNG)."""
+        load_checkpoint(path, self.model, self.kfac, compressor=self.compressor)
+        self.t = self.kfac.t
+        self._last_checkpoint = Path(path)
+
     def train(self, *, iterations: int, batch_size: int, eval_every: int = 0, seed: int = 0):
         for t, idx in enumerate(
             batch_indices(self.task.n, batch_size, iterations=iterations, seed=seed)
@@ -267,6 +395,13 @@ class DistributedKfacTrainer:
             self.step(idx)
             if eval_every and (t + 1) % eval_every == 0:
                 self.history.metrics.append((t + 1, self.task.evaluate(self.model)))
+            if (
+                self.checkpoint_dir is not None
+                and self.checkpoint_every
+                and (t + 1) % self.checkpoint_every == 0
+            ):
+                self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+                self.save_state(self.checkpoint_dir / "latest.npz")
         return self.history
 
     def mean_compression_ratio(self) -> float:

@@ -88,6 +88,7 @@ class DistributedSgdTrainer:
         *,
         lr_schedule=None,
         compressor: GradientCompressor | None = None,
+        ef_residual_guard: float | None = None,
     ):
         self.model = model
         self.task = task
@@ -95,6 +96,11 @@ class DistributedSgdTrainer:
         self.cluster = cluster
         self.lr_schedule = lr_schedule
         self.compressor = compressor
+        #: When the compressor is an ErrorFeedback wrapper and its residual
+        #: L2 norm climbs past this threshold, the trainer resets the EF
+        #: state and degrades the inner compressor (graceful degradation
+        #: against corruption-driven residual explosion).
+        self.ef_residual_guard = ef_residual_guard
         self.t = 0
         self.history = TrainHistory()
 
@@ -112,8 +118,45 @@ class DistributedSgdTrainer:
         with tracer.span("step", "step", step=self.t):
             return self._step(global_idx, tracer)
 
+    def _sanitize(self, flat: np.ndarray) -> np.ndarray:
+        """Zero non-finite entries left by data-plane faults; no-op (and
+        no scan) on fault-free runs."""
+        if self.cluster.faults is None or np.isfinite(flat).all():
+            return flat
+        m = get_metrics()
+        if m.enabled:
+            m.counter("faults.recovered", kind="sanitized_gradient").inc()
+        return np.nan_to_num(flat, nan=0.0, posinf=0.0, neginf=0.0)
+
+    def _check_ef_residual(self) -> None:
+        """Reset error-feedback state if its residual norm explodes."""
+        if self.ef_residual_guard is None:
+            return
+        norm = getattr(self.compressor, "residual_norm", None)
+        if norm is None or norm() <= self.ef_residual_guard:
+            return
+        self.compressor.reset()
+        m = get_metrics()
+        if m.enabled:
+            m.counter("faults.recovered", kind="ef_reset").inc()
+        inner = getattr(self.compressor, "inner", None)
+        if inner is not None and hasattr(inner, "degrade"):
+            inner.degrade()
+            if m.enabled:
+                m.counter("faults.recovered", kind="degrade").inc()
+
     def _step(self, global_idx: np.ndarray, tracer) -> float:
-        shards = shard(global_idx, self.cluster.world_size)
+        failures = self.cluster.begin_iteration(self.t)
+        if failures:
+            m = get_metrics()
+            if m.enabled:
+                m.counter("faults.recovered", kind="rank_failure").inc(len(failures))
+        world = self.cluster.world_size
+        if self.cluster.faults is not None and len(global_idx) % world:
+            # Elastic continuation: trim the batch so it shards evenly
+            # over the shrunken world (averaging rescales automatically).
+            global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
+        shards = shard(global_idx, world)
         per_rank_grads: list[np.ndarray] = []
         losses: list[float] = []
         for r, idx in enumerate(shards):
@@ -135,7 +178,8 @@ class DistributedSgdTrainer:
             reduced = self.cluster.allreduce(
                 per_rank_grads, average=True, category="grad_allreduce"
             )
-        self._set_flat_grad(reduced[0])
+        self._set_flat_grad(self._sanitize(reduced[0]))
+        self._check_ef_residual()
         if self.lr_schedule is not None:
             self.optimizer.lr = self.lr_schedule.lr_at(self.t)
         with tracer.span("apply_update", "update"):

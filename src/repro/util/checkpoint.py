@@ -1,13 +1,28 @@
-"""Checkpointing: save/restore model parameters and K-FAC factor state.
+"""Checkpointing: save/restore model, K-FAC, optimizer, and compressor state.
 
 Long pre-training runs (the paper's BERT runs take 54 hours) need
-resumable state.  Parameters are stored in a single ``.npz`` keyed by the
-model's ``named_parameters`` names; K-FAC running factors are stored
-alongside so a resumed run does not have to re-warm covariances.
+resumable state, and post-fault recovery needs *exact* resumability:
+a restore must continue the very trajectory the run was on, not re-warm
+it.  A checkpoint therefore round-trips, beyond model parameters:
+
+* K-FAC running factors **and** their eigendecompositions, per-layer
+  momentum buffers, the first-order momentum of non-K-FAC parameters,
+  and the optimizer step counter;
+* first-order optimizer state (SGD velocity, Adam/LAMB moments);
+* compressor state: the adaptive error-bound schedule position and the
+  stochastic-rounding RNG state, so compression decisions after a
+  restore are bit-identical to the uninterrupted run.
+
+Writes are **atomic**: the ``.npz`` is produced in a temp file in the
+same directory and moved into place with ``os.replace``, so a crash
+mid-save can never leave a truncated archive that poisons recovery —
+the previous checkpoint survives intact.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -18,28 +33,147 @@ from repro.optim.kfac import Kfac
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
 
-def save_checkpoint(path: str | Path, model: Module, kfac: Kfac | None = None) -> None:
-    """Write model parameters (and optional K-FAC factors) to ``path``."""
+def _final_path(path: str | Path) -> Path:
+    """The filename ``np.savez`` would actually produce."""
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def _rng_state_array(rng: np.random.Generator) -> np.ndarray:
+    """A generator's full bit-generator state as a JSON unicode array."""
+    return np.array(json.dumps(rng.bit_generator.state))
+
+
+def _restore_rng_state(rng: np.random.Generator, stored: np.ndarray) -> None:
+    rng.bit_generator.state = json.loads(str(stored[()]))
+
+
+def _compressor_parts(compressor) -> tuple[object | None, object]:
+    """(adaptive wrapper or None, inner CompsoCompressor-like) of a compressor."""
+    inner = getattr(compressor, "inner", None)
+    if inner is not None and hasattr(compressor, "iteration"):
+        return compressor, inner
+    return None, compressor
+
+
+def _collect_compressor(arrays: dict[str, np.ndarray], compressor) -> None:
+    adaptive, inner = _compressor_parts(compressor)
+    if adaptive is not None:
+        arrays["compressor/iteration"] = np.array(adaptive.iteration)
+        degraded = getattr(adaptive, "_degraded_until", None)
+        if degraded is not None:
+            arrays["compressor/degraded_until"] = np.array(degraded)
+    if hasattr(inner, "eb_f"):
+        arrays["compressor/eb_f"] = np.array(inner.eb_f)
+        arrays["compressor/eb_q"] = np.array(inner.eb_q)
+    rng = getattr(inner, "_rng", None)
+    if isinstance(rng, np.random.Generator):
+        arrays["compressor/rng"] = _rng_state_array(rng)
+
+
+def _restore_compressor(data, compressor) -> None:
+    adaptive, inner = _compressor_parts(compressor)
+    if adaptive is not None and "compressor/iteration" in data:
+        adaptive.iteration = int(data["compressor/iteration"])
+        if "compressor/degraded_until" in data and hasattr(adaptive, "_degraded_until"):
+            adaptive._degraded_until = int(data["compressor/degraded_until"])
+        # Re-derive the schedule's bounds at the restored iteration.
+        if hasattr(adaptive, "_apply"):
+            adaptive._apply(adaptive.iteration)
+    if "compressor/eb_f" in data and hasattr(inner, "set_bounds"):
+        inner.set_bounds(float(data["compressor/eb_f"]), float(data["compressor/eb_q"]))
+    rng = getattr(inner, "_rng", None)
+    if isinstance(rng, np.random.Generator) and "compressor/rng" in data:
+        _restore_rng_state(rng, data["compressor/rng"])
+
+
+def _collect_optimizer(arrays: dict[str, np.ndarray], optimizer) -> None:
+    velocity = getattr(optimizer, "_velocity", None)
+    if velocity is not None:  # Sgd
+        for i, v in enumerate(velocity):
+            arrays[f"opt/velocity/{i}"] = v
+    if getattr(optimizer, "_m", None) is not None:  # Adam / Lamb
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            arrays[f"opt/m/{i}"] = m
+            arrays[f"opt/v/{i}"] = v
+        arrays["opt/t"] = np.array(optimizer._t)
+
+
+def _restore_optimizer(data, optimizer) -> None:
+    velocity = getattr(optimizer, "_velocity", None)
+    if velocity is not None:
+        for i in range(len(velocity)):
+            key = f"opt/velocity/{i}"
+            if key in data:
+                velocity[i][...] = data[key]
+    if getattr(optimizer, "_m", None) is not None:
+        for i in range(len(optimizer._m)):
+            if f"opt/m/{i}" in data:
+                optimizer._m[i][...] = data[f"opt/m/{i}"]
+                optimizer._v[i][...] = data[f"opt/v/{i}"]
+        if "opt/t" in data:
+            optimizer._t = int(data["opt/t"])
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: Module,
+    kfac: Kfac | None = None,
+    *,
+    optimizer=None,
+    compressor=None,
+) -> None:
+    """Atomically write model (+ optional K-FAC/optimizer/compressor) state."""
     arrays: dict[str, np.ndarray] = {}
     for name, p in model.named_parameters():
         arrays[f"param/{name}"] = p.data
     if kfac is not None:
+        arrays["kfac/t"] = np.array(kfac.t)
         for idx, st in kfac.state.items():
             if st.A is not None:
                 arrays[f"kfac/{idx}/A"] = st.A
                 arrays[f"kfac/{idx}/G"] = st.G
                 arrays[f"kfac/{idx}/n_updates"] = np.array(st.n_updates)
-    np.savez_compressed(Path(path), **arrays)
+            if st.ready:
+                arrays[f"kfac/{idx}/QA"] = st.QA
+                arrays[f"kfac/{idx}/vA"] = st.vA
+                arrays[f"kfac/{idx}/QG"] = st.QG
+                arrays[f"kfac/{idx}/vG"] = st.vG
+            if st.momentum_buf is not None:
+                arrays[f"kfac/{idx}/momentum"] = st.momentum_buf
+        for i, buf in enumerate(kfac._other_momentum):
+            arrays[f"kfac/other_momentum/{i}"] = buf
+    if optimizer is not None:
+        _collect_optimizer(arrays, optimizer)
+    if compressor is not None:
+        _collect_compressor(arrays, compressor)
+
+    final = _final_path(path)
+    tmp = final.with_name(f".{final.stem}.tmp.npz")
+    try:
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, final)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
-def load_checkpoint(path: str | Path, model: Module, kfac: Kfac | None = None) -> None:
+def load_checkpoint(
+    path: str | Path,
+    model: Module,
+    kfac: Kfac | None = None,
+    *,
+    optimizer=None,
+    compressor=None,
+) -> None:
     """Restore state written by :func:`save_checkpoint` in place.
 
     Raises ``KeyError`` if the checkpoint is missing a parameter the
     model has, and ``ValueError`` on shape mismatches — silent partial
-    restores are worse than failing loudly.
+    restores are worse than failing loudly.  Optimizer/compressor keys
+    are optional so pre-existing checkpoints keep loading.
     """
-    with np.load(Path(path)) as data:
+    with np.load(_final_path(path)) as data:
         for name, p in model.named_parameters():
             key = f"param/{name}"
             if key not in data:
@@ -51,10 +185,31 @@ def load_checkpoint(path: str | Path, model: Module, kfac: Kfac | None = None) -
                 )
             p.data = stored.astype(np.float32)
         if kfac is not None:
+            if "kfac/t" in data:
+                kfac.t = int(data["kfac/t"])
             for idx, st in kfac.state.items():
                 a_key = f"kfac/{idx}/A"
                 if a_key in data:
                     st.A = data[a_key]
                     st.G = data[f"kfac/{idx}/G"]
                     st.n_updates = int(data[f"kfac/{idx}/n_updates"])
-                    kfac.compute_eigen(idx)
+                    if f"kfac/{idx}/QA" in data:
+                        # Saved eigendecomposition: restore verbatim so a
+                        # resumed run keeps the exact inverse it was using
+                        # (recomputing from A/G would re-warm mid-interval).
+                        st.QA = data[f"kfac/{idx}/QA"]
+                        st.vA = data[f"kfac/{idx}/vA"]
+                        st.QG = data[f"kfac/{idx}/QG"]
+                        st.vG = data[f"kfac/{idx}/vG"]
+                    else:
+                        kfac.compute_eigen(idx)
+                if f"kfac/{idx}/momentum" in data:
+                    st.momentum_buf = data[f"kfac/{idx}/momentum"]
+            for i in range(len(kfac._other_momentum)):
+                key = f"kfac/other_momentum/{i}"
+                if key in data:
+                    kfac._other_momentum[i][...] = data[key]
+        if optimizer is not None:
+            _restore_optimizer(data, optimizer)
+        if compressor is not None:
+            _restore_compressor(data, compressor)

@@ -156,6 +156,32 @@ class TestSimCluster:
         assert np.allclose(np.concatenate(out), np.arange(8) * 4)
         assert all(len(c) == 2 for c in out)
 
+    def test_reduce_scatter_nbytes_override(self):
+        # Like allreduce/broadcast, reduce_scatter must cost compressed
+        # payloads by their wire size, not the raw tensor size.
+        arrays = [np.ones(10_000, dtype=np.float32) for _ in range(4)]
+        full = SimCluster(1, 4)
+        full.reduce_scatter(arrays)
+        small = SimCluster(1, 4)
+        small.reduce_scatter(arrays, nbytes=500.0)
+        assert small.time < full.time
+        assert small.time == pytest.approx(
+            reduce_scatter_time(small.network, 4, 500.0, small.gpus_per_node)
+        )
+
+    def test_reduce_scatter_nbytes_in_span(self):
+        from repro import telemetry
+        from repro.telemetry import SIM_TRACK
+
+        with telemetry.session() as t:
+            cl = SimCluster(1, 4, seed=0)
+            cl.reduce_scatter([np.ones(1000, dtype=np.float32) for _ in range(4)], nbytes=77.0)
+        spans = t.tracer.spans(track=SIM_TRACK, category="reduce_scatter")
+        assert len(spans) == 4
+        assert all(s.attrs["nbytes_wire"] == 77.0 for s in spans)
+        # raw size is the float64 reduction buffer (8 bytes/element)
+        assert all(s.attrs["nbytes_raw"] == 8000 for s in spans)
+
     def test_collectives_advance_clocks(self):
         cl = SimCluster(2, 4)
         cl.allreduce([np.ones(1000) for _ in range(8)])
