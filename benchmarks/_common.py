@@ -10,6 +10,7 @@ factors, crossovers — is asserted where the paper states one.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -21,3 +22,16 @@ def emit(name: str, text: str) -> None:
     banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
     print(banner + text)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result next to the ``.txt`` block.
+
+    Written as ``benchmarks/out/BENCH_<name>.json`` so downstream tooling
+    (CI assertions, plotting) can consume benchmark numbers without
+    scraping the human-readable table.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,122 @@
+"""Runtime bench: blocking vs scheduled-overlap K-FAC iteration time.
+
+The `repro.runtime` engine replaces the timing model's assumed overlap
+constants with a scheduler: nonblocking collectives travel on per-rank
+comm streams and only their exposed tails cost simulated time.  This
+bench trains the same K-FAC proxy in both execution modes across
+2-64 ranks on Slingshot-10 and Slingshot-11 and reports the measured
+hidden-communication fraction.
+
+Assertions encode the engine's contract: the two modes are bit-identical
+in parameter space everywhere, the overlapped run is never slower, and
+at >=16 ranks on Slingshot-10 (where collectives are long enough to hide
+under compute) it is strictly faster.
+"""
+
+import numpy as np
+
+from benchmarks._common import emit, emit_json
+from repro.data import make_image_data
+from repro.distributed import SLINGSHOT10, SLINGSHOT11, SimCluster
+from repro.kfac_dist import DistributedKfacTrainer
+from repro.models import resnet_proxy
+from repro.runtime import ComputeModel, StreamRuntime
+from repro.train import ClassificationTask
+from repro.util.tables import format_table
+
+RANKS = (2, 4, 8, 16, 32, 64)
+NETWORKS = (("slingshot10", SLINGSHOT10), ("slingshot11", SLINGSHOT11))
+ITERATIONS = 3
+#: Tiny-proxy training throughput: scaled down so modelled compute is on
+#: the same footing as the proxy's communication (A100 flops would make
+#: a 2725-parameter model's compute vanish and leave nothing to overlap).
+TRAIN_FLOPS = 5e7
+
+
+def _run(network, ranks: int, overlap: bool):
+    data = make_image_data(200, n_classes=5, size=8, noise=0.4, seed=0)
+    task = ClassificationTask(data)
+    gpus = 4 if ranks >= 4 else ranks
+    cluster = SimCluster(ranks // gpus, gpus, seed=0, network=network)
+    model = resnet_proxy(n_classes=5, channels=8, rng=3)
+    rt = StreamRuntime(
+        cluster, overlap=overlap, compute=ComputeModel(train_flops=TRAIN_FLOPS)
+    )
+    trainer = DistributedKfacTrainer(
+        model, task, cluster, lr=0.05, inv_update_freq=2, runtime=rt
+    )
+    trainer.train(iterations=ITERATIONS, batch_size=4 * ranks)
+    params = np.concatenate([p.data.ravel() for p in model.parameters()])
+    return params, cluster.time, rt
+
+
+def run_experiment():
+    rows = []
+    configs = []
+    for net_name, network in NETWORKS:
+        for ranks in RANKS:
+            blk_params, blk_time, _ = _run(network, ranks, overlap=False)
+            ovl_params, ovl_time, rt = _run(network, ranks, overlap=True)
+            assert np.array_equal(blk_params, ovl_params), (
+                f"overlapped params diverged from blocking ({net_name}, {ranks} ranks)"
+            )
+            cfg = {
+                "network": net_name,
+                "ranks": ranks,
+                "blocking_seconds": blk_time,
+                "overlapped_seconds": ovl_time,
+                "speedup": blk_time / ovl_time,
+                "hidden_comm_seconds": rt.hidden_comm_seconds(),
+                "exposed_comm_seconds": rt.exposed_comm_seconds(),
+                "hidden_fraction": rt.hidden_fraction(),
+                "bit_identical": True,
+            }
+            configs.append(cfg)
+            rows.append(
+                [
+                    net_name,
+                    ranks,
+                    blk_time * 1e3,
+                    ovl_time * 1e3,
+                    cfg["speedup"],
+                    cfg["hidden_fraction"] * 100,
+                ]
+            )
+    return rows, configs
+
+
+def test_runtime_overlap(benchmark):
+    rows, configs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    out = format_table(
+        ["network", "ranks", "blocking ms", "overlapped ms", "speedup", "hidden %"],
+        rows,
+        title=f"Blocking vs scheduled overlap (K-FAC proxy, {ITERATIONS} iterations)",
+        floatfmt=".3f",
+    )
+    out += (
+        "\n\nhidden % is measured by the stream scheduler (exposed-tail "
+        "accounting), not assumed; both modes are verified bit-identical "
+        "in parameter space."
+    )
+    emit("runtime_overlap", out)
+    emit_json(
+        "runtime_overlap",
+        {
+            "iterations": ITERATIONS,
+            "train_flops": TRAIN_FLOPS,
+            "configs": configs,
+            "max_hidden_fraction": max(c["hidden_fraction"] for c in configs),
+        },
+    )
+    # Bit-identical everywhere (asserted per config while running).
+    assert all(c["bit_identical"] for c in configs)
+    # Overlap never loses: the scheduler only ever hides time.
+    assert all(c["overlapped_seconds"] <= c["blocking_seconds"] for c in configs)
+    # At scale on Slingshot-10 the win is strict and comm is hidden.
+    at_scale = [
+        c for c in configs if c["network"] == "slingshot10" and c["ranks"] >= 16
+    ]
+    assert at_scale
+    for c in at_scale:
+        assert c["overlapped_seconds"] < c["blocking_seconds"]
+        assert c["hidden_comm_seconds"] > 0.0

@@ -34,6 +34,7 @@ __all__ = [
     "models",
     "optim",
     "distributed",
+    "runtime",
     "kfac_dist",
     "gpusim",
     "faults",

@@ -12,6 +12,9 @@ Commands:
 * ``chaos`` — run a scripted fault-injection scenario against a clean
   baseline and report convergence delta, recovery counters, and
   time-to-recover;
+* ``overlap`` — train the same K-FAC job blocking and with scheduled
+  compute/communication overlap, verify the two are bit-identical, and
+  report the measured hidden-communication split;
 * ``experiments`` — list the paper's tables/figures and their benches.
 """
 
@@ -210,6 +213,82 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_overlap(args: argparse.Namespace) -> int:
+    from repro.data import make_image_data
+    from repro.distributed import SimCluster
+    from repro.kfac_dist import DistributedKfacTrainer
+    from repro.models import resnet_proxy
+    from repro.runtime import ComputeModel, StreamRuntime
+    from repro.train import ClassificationTask
+
+    def run(overlap: bool):
+        task = ClassificationTask(
+            make_image_data(256, n_classes=5, size=8, noise=0.5, seed=0)
+        )
+        gpus = min(args.ranks, 4)
+        cluster = SimCluster(args.ranks // gpus, gpus, seed=0)
+        rt = StreamRuntime(
+            cluster,
+            overlap=overlap,
+            n_comm_streams=args.streams,
+            compute=ComputeModel(train_flops=args.train_flops),
+        )
+        trainer = DistributedKfacTrainer(
+            resnet_proxy(n_classes=5, channels=8, rng=3),
+            task,
+            cluster,
+            lr=0.05,
+            inv_update_freq=2,
+            runtime=rt,
+        )
+        trainer.train(iterations=args.iters, batch_size=args.batch_size)
+        params = np.concatenate([p.data.ravel() for p in trainer.model.parameters()])
+        return params, cluster.time, rt
+
+    if args.ranks < 1 or args.ranks % min(args.ranks, 4):
+        raise SystemExit(f"--ranks must be a multiple of 4 (or < 4), got {args.ranks}")
+    blk_params, blk_time, _ = run(overlap=False)
+    ovl_params, ovl_time, rt = run(overlap=True)
+    identical = bool(np.array_equal(blk_params, ovl_params))
+    print(f"ranks={args.ranks} iters={args.iters} comm-streams={args.streams}")
+    print(f"blocking   : {blk_time * 1e3:.3f} ms simulated")
+    print(f"overlapped : {ovl_time * 1e3:.3f} ms simulated ({blk_time / ovl_time:.2f}x)")
+    print(f"bit-identical parameters: {identical}")
+    print(
+        f"comm hidden {rt.hidden_comm_seconds() * 1e3:.3f} ms / "
+        f"exposed {rt.exposed_comm_seconds() * 1e3:.3f} ms "
+        f"(hidden fraction {rt.hidden_fraction():.2f})"
+    )
+    for cat, s in rt.overlap_stats().items():
+        print(
+            f"  {cat:16s} hidden {s['hidden'] * 1e3:8.3f} ms   "
+            f"exposed {s['exposed'] * 1e3:8.3f} ms"
+        )
+    if args.json:
+        import json
+
+        payload = {
+            "ranks": args.ranks,
+            "iters": args.iters,
+            "n_comm_streams": args.streams,
+            "blocking_seconds": blk_time,
+            "overlapped_seconds": ovl_time,
+            "speedup": blk_time / ovl_time,
+            "bit_identical": identical,
+            "hidden_comm_seconds": rt.hidden_comm_seconds(),
+            "exposed_comm_seconds": rt.exposed_comm_seconds(),
+            "hidden_fraction": rt.hidden_fraction(),
+            "per_category": rt.overlap_stats(),
+        }
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"\nwrote {args.json}")
+    if not identical:
+        print("ERROR: overlapped parameters diverged from blocking", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[0]) for e in _EXPERIMENTS)
     for tag, desc, bench in _EXPERIMENTS:
@@ -258,6 +337,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default="", help="write the ChaosResult as JSON to this path")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "overlap", help="compare blocking vs scheduled-overlap execution"
+    )
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--iters", type=int, default=5)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--streams", type=int, default=2, help="comm streams per rank")
+    p.add_argument(
+        "--train-flops",
+        type=float,
+        default=5e7,
+        help="modelled training throughput (FLOP/s); small so the tiny "
+        "proxy's compute is on the same scale as its communication",
+    )
+    p.add_argument("--json", default="overlap.json", help="result JSON path ('' skips)")
+    p.set_defaults(func=cmd_overlap)
 
     sub.add_parser("experiments", help="list paper artefacts and benches").set_defaults(
         func=cmd_experiments

@@ -266,12 +266,38 @@ class SimCluster:
             r.clock.reset()
 
     # -- data-plane collectives ----------------------------------------------
+    #
+    # Each collective is split into a pure data-plane helper (``_*_data``)
+    # and the blocking wrapper that adds barrier time accounting.  The
+    # nonblocking engine in :mod:`repro.runtime` calls the same data
+    # helpers, which is what makes the overlapped execution path
+    # bit-identical to the blocking one: only the clocks differ.
 
     def _check(self, arrays: list[np.ndarray]) -> None:
         if len(arrays) != self.world_size:
             raise ValueError(
                 f"expected {self.world_size} per-rank arrays, got {len(arrays)}"
             )
+
+    def _reduce_data(self, arrays: list[np.ndarray], op: str, *, average: bool) -> np.ndarray:
+        """Shared reduction math for (i)allreduce / (i)reduce_scatter.
+
+        A rank hit by a :class:`~repro.faults.plan.DroppedContribution`
+        fault is excluded from the sum and the averaging denominator —
+        the collective gracefully degrades to the surviving contributors.
+        """
+        self._check(arrays)
+        skip: set[int] = set()
+        if self.faults is not None:
+            dropped = self.faults.dropped_ranks(op, [r.rank for r in self.ranks])
+            skip = {i for i, r in enumerate(self.ranks) if r.rank in dropped}
+        total = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
+        for i, a in enumerate(arrays):
+            if i not in skip:
+                total += a
+        if average:
+            total /= self.world_size - len(skip)
+        return total
 
     def allreduce(
         self,
@@ -285,22 +311,8 @@ class SimCluster:
 
         ``nbytes`` overrides the modelled wire size (used when the
         payload travels compressed, e.g. factor compression).
-
-        A rank hit by a :class:`~repro.faults.plan.DroppedContribution`
-        fault is excluded from the sum and the averaging denominator —
-        the collective gracefully degrades to the surviving contributors.
         """
-        self._check(arrays)
-        skip: set[int] = set()
-        if self.faults is not None:
-            dropped = self.faults.dropped_ranks("allreduce", [r.rank for r in self.ranks])
-            skip = {i for i, r in enumerate(self.ranks) if r.rank in dropped}
-        total = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
-        for i, a in enumerate(arrays):
-            if i not in skip:
-                total += a
-        if average:
-            total /= self.world_size - len(skip)
+        total = self._reduce_data(arrays, "allreduce", average=average)
         result = total.astype(np.asarray(arrays[0]).dtype)
         wire = result.nbytes if nbytes is None else nbytes
         seconds = allreduce_time(self.network, self.world_size, wire, self.gpus_per_node)
@@ -345,18 +357,26 @@ class SimCluster:
             nbytes_raw=raw,
             nbytes_wire=nbytes_per_rank,
         )
+        return self._inject_allgather_faults(self._allgather_data(objects))
+
+    def _allgather_data(self, objects: list[object]) -> list[list[object]]:
         # Real MPI allgather copies every contribution into each rank's
         # recvbuf; hand out per-rank copies of array payloads so an
         # in-place mutation on one simulated rank cannot leak into others.
-        out: list[list[object]] = []
-        for pos, receiver in enumerate(self.ranks):
-            copies = [o.copy() if isinstance(o, np.ndarray) else o for o in objects]
-            if self.faults is not None:
+        return [
+            [o.copy() if isinstance(o, np.ndarray) else o for o in objects]
+            for _ in self.ranks
+        ]
+
+    def _inject_allgather_faults(self, out: list[list[object]]) -> list[list[object]]:
+        """Receiver-side corruption pass over freshly gathered copies."""
+        if self.faults is not None:
+            for pos, receiver in enumerate(self.ranks):
+                copies = out[pos]
                 for src in range(len(copies)):
                     if src == pos:
                         continue  # a rank's own contribution never hits the wire
                     copies[src] = self._maybe_corrupt(copies[src], receiver, "allgather")
-            out.append(copies)
         return out
 
     def _maybe_corrupt(self, obj: object, receiver: SimRank, op: str) -> object:
@@ -393,13 +413,19 @@ class SimCluster:
             nbytes_raw=raw,
             nbytes_wire=nbytes,
         )
+        return self._inject_broadcast_faults(self._broadcast_data(obj, root), root)
+
+    def _broadcast_data(self, obj: object, root: int) -> list[object]:
         # The root keeps its own buffer (MPI semantics); every other rank
         # receives a private copy of array payloads, so in-place edits on
         # one simulated rank cannot alias into the rest.
-        out = [
+        return [
             obj if r == root or not isinstance(obj, np.ndarray) else obj.copy()
             for r in range(self.world_size)
         ]
+
+    def _inject_broadcast_faults(self, out: list[object], root: int) -> list[object]:
+        """Receiver-side corruption pass over freshly broadcast copies."""
         if self.faults is not None:
             for pos, receiver in enumerate(self.ranks):
                 if pos == root:
@@ -419,15 +445,7 @@ class SimCluster:
         ``nbytes`` overrides the modelled wire size, like ``allreduce``'s
         — required to cost compressed payloads through this collective.
         """
-        self._check(arrays)
-        skip: set[int] = set()
-        if self.faults is not None:
-            dropped = self.faults.dropped_ranks("reduce_scatter", [r.rank for r in self.ranks])
-            skip = {i for i, r in enumerate(self.ranks) if r.rank in dropped}
-        total = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
-        for i, a in enumerate(arrays):
-            if i not in skip:
-                total += a
+        total = self._reduce_data(arrays, "reduce_scatter", average=False)
         p = self.world_size
         flat = total.ravel()
         chunks = np.array_split(flat, p)

@@ -92,20 +92,48 @@ class IterationBreakdown:
             "others": (self.others + self.compression) / t,
         }
 
-    def overlapped_total(self, overlap_fraction: float = 0.5) -> float:
-        """Iteration time when a fraction of the K-FAC communication hides
-        under computation (KAISA's cross-layer overlap, section 2.2).
+    def overlapped_total(
+        self,
+        *,
+        measured_overlap: float | None = None,
+        assumed_overlap: float | None = None,
+    ) -> float:
+        """Iteration time when part of the K-FAC communication hides under
+        computation (KAISA's cross-layer overlap, section 2.2).
 
-        Fig. 1's stacked percentages are additive exposure shares; this
-        models the wall-clock effect instead: up to
-        ``overlap_fraction * (fwd_bwd + kfac_compute)`` of the comm time
-        disappears behind compute.
+        Exactly one of the two keywords must be given:
+
+        ``measured_overlap``
+            The scheduler-measured hidden fraction of issued comm time,
+            i.e. :meth:`repro.runtime.StreamRuntime.hidden_fraction`.
+            ``comm * (1 - measured_overlap)`` stays exposed — the
+            fraction is a property of the comm itself, so no capacity
+            cap applies.
+
+        ``assumed_overlap``
+            The legacy hand-waved constant (previously the positional
+            ``overlap_fraction``): up to ``assumed_overlap * (fwd_bwd +
+            kfac_compute)`` of the comm time disappears behind compute.
+            Kept for reproducing old numbers; prefer running a
+            :class:`~repro.runtime.StreamRuntime` and passing what it
+            measured.
         """
-        if not 0.0 <= overlap_fraction <= 1.0:
-            raise ValueError(f"overlap_fraction must be in [0, 1], got {overlap_fraction}")
+        if (measured_overlap is None) == (assumed_overlap is None):
+            raise ValueError(
+                "pass exactly one of measured_overlap= (from "
+                "StreamRuntime.hidden_fraction()) or assumed_overlap= "
+                "(the legacy constant)"
+            )
         comm = self.kfac_allgather + self.kfac_allreduce
-        hideable = overlap_fraction * (self.fwd_bwd + self.kfac_compute)
-        exposed_comm = max(comm - hideable, 0.0)
+        if measured_overlap is not None:
+            if not 0.0 <= measured_overlap <= 1.0:
+                raise ValueError(f"measured_overlap must be in [0, 1], got {measured_overlap}")
+            exposed_comm = comm * (1.0 - measured_overlap)
+        else:
+            if not 0.0 <= assumed_overlap <= 1.0:
+                raise ValueError(f"assumed_overlap must be in [0, 1], got {assumed_overlap}")
+            hideable = assumed_overlap * (self.fwd_bwd + self.kfac_compute)
+            exposed_comm = max(comm - hideable, 0.0)
         return self.fwd_bwd + self.kfac_compute + exposed_comm + self.others + self.compression
 
 
@@ -120,7 +148,9 @@ class TimingProfile:
     factor_update_freq: int = 10
     #: Eigendecomposition interval (iterations).
     inv_update_freq: int = 100
-    #: Fraction of the DDP gradient allreduce hidden under backward.
+    #: *Assumed* fraction of the DDP gradient allreduce hidden under
+    #: backward.  A :class:`repro.runtime.StreamRuntime` run measures this
+    #: instead — pass its value to :meth:`KfacIterationModel.others_time`.
     grad_overlap: float = 0.8
     #: Fixed per-iteration overhead as a fraction of fwd+bwd time.
     fixed_overhead_frac: float = 0.15
@@ -280,10 +310,21 @@ class KfacIterationModel:
         )
         return comp + decomp
 
-    def others_time(self) -> float:
+    def others_time(self, measured_grad_overlap: float | None = None) -> float:
+        """DDP gradient-allreduce residue plus fixed overhead.
+
+        ``measured_grad_overlap`` substitutes a scheduler-measured hidden
+        fraction (``StreamRuntime.overlap_stats()['grad_allreduce']``)
+        for the profile's assumed ``grad_overlap`` constant.
+        """
         net = self.platform.network
         grad_ar = allreduce_time(net, self.world, self.grad_bytes, self.platform.gpus_per_node)
-        residue = (1.0 - self.profile.grad_overlap) * grad_ar
+        overlap = (
+            measured_grad_overlap
+            if measured_grad_overlap is not None
+            else self.profile.grad_overlap
+        )
+        residue = (1.0 - overlap) * grad_ar
         return residue + self.profile.fixed_overhead_frac * self.fwd_bwd_time()
 
     # -- composed ------------------------------------------------------------------

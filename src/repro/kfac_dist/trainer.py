@@ -60,12 +60,20 @@ class DistributedKfacTrainer:
         factor_compressor: GradientCompressor | None = None,
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 0,
+        runtime=None,
     ):
         self.model = model
         self.task = task
         self.cluster = cluster
         self.lr_schedule = lr_schedule
         self.compressor = compressor
+        #: Optional :class:`repro.runtime.StreamRuntime`.  When set, the
+        #: gradient allreduce is issued in buckets during (modelled)
+        #: backward, factor allreduces are coalesced and issued
+        #: nonblocking, and each layer's preconditioned-gradient
+        #: broadcast travels while the owner preconditions the next
+        #: layer.  Numerics are bit-identical to the blocking path.
+        self.runtime = runtime
         #: Optional compressor for the factor allreduce payload (paper
         #: section 7 future work; see repro.core.factor_compression).
         self.factor_compressor = factor_compressor
@@ -138,17 +146,17 @@ class DistributedKfacTrainer:
         with tracer.span("step", "step", step=self.t):
             return self._step(global_idx, tracer)
 
-    def _step(self, global_idx: np.ndarray, tracer) -> float:
-        failures = self.cluster.begin_iteration(self.t)
-        if failures:
-            self._recover_from_failures(failures, tracer)
+    def _trimmed_shards(self, global_idx: np.ndarray) -> list[np.ndarray]:
         world = self.cluster.world_size
         if self.cluster.faults is not None and len(global_idx) % world:
             # Elastic continuation: after a world shrink the global batch
             # may not divide evenly; trim the remainder so shards stay
             # consistent (averaging rescales automatically to the new world).
             global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
-        shards = shard(global_idx, world)
+        return shard(global_idx, world)
+
+    def _local_shard_pass(self, shards: list[np.ndarray], tracer):
+        """Per-shard forward/backward; collect grads and K-FAC factors."""
         losses: list[float] = []
         per_rank_grads: list[np.ndarray] = []
         per_rank_other: list[np.ndarray] = []
@@ -166,6 +174,21 @@ class DistributedKfacTrainer:
             per_rank_other.append(self._other_flat_grad())
             per_rank_factors.append(
                 [self.kfac.local_factors(i) for i in range(len(self.kfac.layers))]
+            )
+        return losses, per_rank_grads, per_rank_other, per_rank_factors
+
+    def _step(self, global_idx: np.ndarray, tracer) -> float:
+        failures = self.cluster.begin_iteration(self.t)
+        if failures:
+            self._recover_from_failures(failures, tracer)
+        world = self.cluster.world_size
+        shards = self._trimmed_shards(global_idx)
+        losses, per_rank_grads, per_rank_other, per_rank_factors = self._local_shard_pass(
+            shards, tracer
+        )
+        if self.runtime is not None:
+            return self._finish_step_runtime(
+                losses, per_rank_grads, per_rank_other, per_rank_factors, shards, world, tracer
             )
 
         # Step: SGD-gradient allreduce (counted under "others" in Fig. 1).
@@ -222,6 +245,17 @@ class DistributedKfacTrainer:
                     )[0]
             wire += payload_bytes
             precond[i] = pg
+        return self._apply_and_record(losses, precond, wire, original, tracer)
+
+    def _apply_and_record(
+        self,
+        losses: list[float],
+        precond: dict[int, np.ndarray],
+        wire: float,
+        original: float,
+        tracer,
+    ) -> float:
+        """Shared step tail: apply the update, record history and metrics."""
         self.bytes_on_wire.append(wire)
         self.bytes_original.append(original)
         if original > 0:
@@ -249,39 +283,201 @@ class DistributedKfacTrainer:
         self.kfac.t = self.t
         return mean_loss
 
+    # -- runtime (overlapped) execution path -----------------------------------
+
+    def _finish_step_runtime(
+        self,
+        losses: list[float],
+        per_rank_grads: list[np.ndarray],
+        per_rank_other: list[np.ndarray],
+        per_rank_factors: list[list[tuple[np.ndarray, np.ndarray]]],
+        shards: list[np.ndarray],
+        world: int,
+        tracer,
+    ) -> float:
+        """Scheduled compute–communication overlap via the StreamRuntime.
+
+        Gradient buckets are issued during (modelled) backward, factor
+        allreduces are coalesced and issued nonblocking, and each layer's
+        preconditioned-gradient broadcast travels while the owner
+        preconditions the next layer.  Data-plane order matches the
+        blocking path exactly (same per-layer compression order, same
+        reduction math), so the numerics are bit-identical.
+        """
+        from repro.runtime.bucketing import Bucketer, split_bounds
+
+        rt = self.runtime
+        cm = rt.compute
+        samples = len(shards[0])
+        n_params = sum(p.size for p in self.model.parameters())
+        if cm is not None:
+            self.cluster.advance_all(cm.forward_seconds(n_params, samples), "forward")
+
+        # Gradient allreduce in byte buckets issued during backward.
+        bounds = split_bounds(per_rank_grads[0], rt.bucket_bytes)
+        bwd = cm.backward_seconds(n_params, samples) if cm is not None else 0.0
+        grad_handles = []
+        other_handle = None
+        with tracer.span("grad_allreduce", "comm", n_buckets=len(bounds)):
+            for lo, hi in bounds:
+                if bwd:
+                    self.cluster.advance_all(bwd / len(bounds), "backward")
+                grad_handles.append(
+                    rt.iallreduce(
+                        [g[lo:hi] for g in per_rank_grads],
+                        average=True,
+                        category="grad_allreduce",
+                    )
+                )
+            if per_rank_other[0].size:
+                other_handle = rt.iallreduce(
+                    per_rank_other, average=True, category="grad_allreduce"
+                )
+
+        # Factor allreduce: per-layer payloads coalesced into byte-
+        # threshold buckets, all buckets in flight concurrently.
+        with tracer.span("factor_allreduce", "factor", n_layers=len(self.kfac.layers)):
+            bucketer = Bucketer(rt, category="kfac_allreduce", average=True)
+            for i in range(len(self.kfac.layers)):
+                a_flat, wire_bytes = self._factor_payload(i, per_rank_factors, world)
+                bucketer.add(i, a_flat, wire_nbytes=wire_bytes)
+            reduced_factors = bucketer.wait()
+
+        with tracer.span("grad_wait", "comm"):
+            reduced = np.concatenate([h.wait()[0] for h in grad_handles])
+            self._set_kfac_flat_grads(self._sanitize(reduced))
+            if other_handle is not None:
+                self._set_other_flat_grad(self._sanitize(other_handle.wait()[0]))
+        for i in range(len(self.kfac.layers)):
+            self._fold_factor(i, reduced_factors[i], per_rank_factors)
+
+        refresh = self.t % self.kfac.inv_update_freq == 0
+        with tracer.span("eigendecomposition", "inverse", refresh=refresh):
+            for i in range(len(self.kfac.layers)):
+                if refresh or not self.kfac.state[i].ready:
+                    self.kfac.compute_eigen(i)
+                    if cm is not None:
+                        in_f, out_f = self._layer_dims(i)
+                        self.cluster.advance_rank(
+                            self.owners[i],
+                            cm.eig_seconds(in_f) + cm.eig_seconds(out_f),
+                            "kfac_compute",
+                        )
+
+        # Steps 4-5 overlapped: layer i's broadcast is in flight while the
+        # owner of layer i+1 preconditions (KAISA's cross-layer overlap,
+        # scheduled instead of assumed).
+        wire = 0.0
+        original = 0.0
+        precond: dict[int, np.ndarray] = {}
+        bcast_handles: dict[int, tuple] = {}
+        for i in range(len(self.kfac.layers)):
+            with tracer.span("precondition", "precondition", layer=i):
+                pg = self.kfac.precondition(i)
+            if cm is not None:
+                self.cluster.advance_rank(
+                    self.owners[i],
+                    cm.precondition_seconds(*self._layer_dims(i)),
+                    "kfac_compute",
+                )
+            original += pg.nbytes
+            if self.compressor is not None and self._channel is not None:
+                # The checksum/retry protocol is barrier-synchronous even
+                # under the runtime: retries must settle before the next
+                # transfer can be priced, so this transfer stays blocking.
+                pg, payload_bytes = self._reliable_allgather(pg, i, tracer)
+                precond[i] = pg
+            elif self.compressor is not None:
+                ct = self.compressor.compress(pg)
+                payload_bytes = ct.nbytes
+                with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
+                    bcast_handles[i] = (
+                        rt.ibroadcast(
+                            ct,
+                            root=self.owners[i],
+                            nbytes=payload_bytes,
+                            category="kfac_allgather",
+                        ),
+                        True,
+                    )
+            else:
+                payload_bytes = pg.nbytes
+                with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
+                    bcast_handles[i] = (
+                        rt.ibroadcast(
+                            pg,
+                            root=self.owners[i],
+                            nbytes=payload_bytes,
+                            category="kfac_allgather",
+                        ),
+                        False,
+                    )
+            wire += payload_bytes
+        with tracer.span("allgather_wait", "comm"):
+            for i, (handle, compressed) in bcast_handles.items():
+                got = handle.wait()[0]
+                precond[i] = self.compressor.decompress(got) if compressed else got
+        rt.assert_quiesced()
+        return self._apply_and_record(losses, precond, wire, original, tracer)
+
     def _factor_allreduce(
         self,
         per_rank_factors: list[list[tuple[np.ndarray, np.ndarray]]],
         world: int,
     ) -> None:
         for i in range(len(self.kfac.layers)):
-            wire_bytes: float | None = None
-            if self.factor_compressor is not None:
-                original = 0
-                wire = 0
-                decoded = []
-                for f in per_rank_factors:
-                    pair = []
-                    for mat in f[i]:
-                        ct = self.factor_compressor.compress(mat.astype(np.float32))
-                        original += mat.astype(np.float32).nbytes
-                        wire += ct.nbytes
-                        pair.append(self.factor_compressor.decompress(ct).astype(np.float64))
-                    decoded.append(pair)
-                self.factor_ratios.append(original / max(wire, 1))
-                wire_bytes = float(wire) / world
-                a_flat = [np.concatenate([p[0].ravel(), p[1].ravel()]) for p in decoded]
-            else:
-                a_flat = [
-                    np.concatenate([f[i][0].ravel(), f[i][1].ravel()]) for f in per_rank_factors
-                ]
+            a_flat, wire_bytes = self._factor_payload(i, per_rank_factors, world)
             red = self.cluster.allreduce(
                 a_flat, average=True, category="kfac_allreduce", nbytes=wire_bytes
             )[0]
-            da = per_rank_factors[0][i][0].shape[0]
-            A = red[: da * da].reshape(da, da)
-            G = red[da * da :].reshape(per_rank_factors[0][i][1].shape)
-            self.kfac.accumulate_factors(i, A, G)
+            self._fold_factor(i, red, per_rank_factors)
+
+    def _factor_payload(
+        self,
+        i: int,
+        per_rank_factors: list[list[tuple[np.ndarray, np.ndarray]]],
+        world: int,
+    ) -> tuple[list[np.ndarray], float | None]:
+        """Per-rank flattened factor payload for layer ``i``.
+
+        With a factor compressor, each rank's local contribution travels
+        compressed; SR's unbiasedness makes per-rank errors average out
+        in the sum (no feedback: factors are re-derived every iteration).
+        Shared by the blocking and the runtime paths so the compression
+        RNG is consumed in the exact same order.
+        """
+        wire_bytes: float | None = None
+        if self.factor_compressor is not None:
+            original = 0
+            wire = 0
+            decoded = []
+            for f in per_rank_factors:
+                pair = []
+                for mat in f[i]:
+                    ct = self.factor_compressor.compress(mat.astype(np.float32))
+                    original += mat.astype(np.float32).nbytes
+                    wire += ct.nbytes
+                    pair.append(self.factor_compressor.decompress(ct).astype(np.float64))
+                decoded.append(pair)
+            self.factor_ratios.append(original / max(wire, 1))
+            wire_bytes = float(wire) / world
+            a_flat = [np.concatenate([p[0].ravel(), p[1].ravel()]) for p in decoded]
+        else:
+            a_flat = [
+                np.concatenate([f[i][0].ravel(), f[i][1].ravel()]) for f in per_rank_factors
+            ]
+        return a_flat, wire_bytes
+
+    def _fold_factor(
+        self,
+        i: int,
+        red: np.ndarray,
+        per_rank_factors: list[list[tuple[np.ndarray, np.ndarray]]],
+    ) -> None:
+        da = per_rank_factors[0][i][0].shape[0]
+        A = red[: da * da].reshape(da, da)
+        G = red[da * da :].reshape(per_rank_factors[0][i][1].shape)
+        self.kfac.accumulate_factors(i, A, G)
 
     # -- fault tolerance -------------------------------------------------------
 

@@ -1,0 +1,487 @@
+"""Event-driven execution engine: nonblocking collectives on comm streams.
+
+:class:`StreamRuntime` layers an asynchronous execution model over a
+:class:`~repro.distributed.cluster.SimCluster`.  Where every SimCluster
+collective is a barrier (synchronise all clocks, advance together), the
+runtime gives each rank ``n_comm_streams`` communication streams next to
+its compute stream (the rank's :class:`SimClock`):
+
+* ``iallreduce`` / ``iallgather`` / ``ibroadcast`` / ``ireduce_scatter``
+  move the data **eagerly** — the payload math runs through the exact
+  same SimCluster data-plane helpers the blocking collectives use, so an
+  overlapped run is bit-identical to a blocking run — and return a
+  :class:`CollectiveHandle` instead of advancing any clock;
+* the transfer occupies the least-busy comm stream of every participant
+  from ``start = max(issue clocks, stream availability)`` for the
+  alpha-beta duration of the collective;
+* :meth:`CollectiveHandle.wait` advances each rank's compute clock only
+  over the *exposed* tail of the transfer — communication that finished
+  under subsequent compute costs nothing, and the hidden/exposed split
+  is accumulated per category (:meth:`StreamRuntime.overlap_stats`), the
+  measured replacement for the hand-waved ``overlap_fraction`` constants
+  in :mod:`repro.kfac_dist.timing`.
+
+Fault composition: injection happens at wait time — receiver-side
+corruption is applied when the handle completes, and straggler/jitter
+extras stretch the completion before the clocks are charged.  Telemetry:
+every transfer is recorded as a span on its comm stream's own trace lane
+(``stream >= 1``), while the compute-lane spans (``stream == 0``) keep
+mirroring every clock mutation exactly, preserving the
+``SimCluster.breakdown()`` reconciliation invariant.
+
+Deadlock/mismatch detection: collectives are matched through per-rank
+posting queues.  Conflicting heads raise
+:class:`~repro.runtime.errors.UnmatchedCollectiveError` immediately;
+:meth:`StreamRuntime.assert_quiesced` raises (with a per-rank pending-op
+report) if posted ops were never joined by every rank or handles were
+never waited.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.distributed.collectives import (
+    allgather_time,
+    allreduce_time,
+    broadcast_time,
+    reduce_scatter_time,
+)
+from repro.runtime.compute import ComputeModel
+from repro.runtime.errors import DeadlockError, UnmatchedCollectiveError
+from repro.telemetry import SIM_TRACK, get_tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distributed.cluster import SimCluster
+
+__all__ = ["CollectiveHandle", "StreamRuntime"]
+
+#: (op name, category, rounded wire bytes) — what must agree across ranks.
+_Sig = tuple[str, str, int]
+
+
+class CollectiveHandle:
+    """Wait handle for one in-flight (or completed) collective.
+
+    ``wait()`` is idempotent: the first call settles clocks and returns
+    the per-rank results; every later call returns the same object with
+    no further clock movement.  Handles may be waited in any order.
+    """
+
+    __slots__ = (
+        "op",
+        "category",
+        "seconds",
+        "start",
+        "seq",
+        "attrs",
+        "_engine",
+        "_streams",
+        "_finalize",
+        "_results",
+        "_completed",
+    )
+
+    def __init__(
+        self,
+        engine: "StreamRuntime | None",
+        op: str,
+        category: str,
+        seconds: float,
+        start: float,
+        seq: int,
+        streams: dict[int, int],
+        finalize: Callable[[], list],
+        attrs: dict,
+    ):
+        self._engine = engine
+        self.op = op
+        self.category = category
+        self.seconds = seconds
+        self.start = start
+        self.seq = seq
+        self.attrs = attrs
+        self._streams = streams
+        self._finalize = finalize
+        self._results: list | None = None
+        self._completed = False
+
+    @classmethod
+    def completed(cls, op: str, category: str, results: list) -> "CollectiveHandle":
+        """An already-finished handle (the blocking execution mode)."""
+        h = cls(None, op, category, 0.0, 0.0, -1, {}, lambda: results, {})
+        h._results = results
+        h._completed = True
+        return h
+
+    @property
+    def done(self) -> bool:
+        """Whether this handle has been waited (results materialised)."""
+        return self._completed
+
+    def test(self) -> bool:
+        """True when a ``wait`` would not advance any clock.
+
+        Straggler/jitter extras are only drawn at wait time, so ``test``
+        answers for the fault-free completion estimate.
+        """
+        if self._completed:
+            return True
+        end = self.start + self.seconds
+        return all(r.clock.now >= end for r in self._engine.cluster.ranks)
+
+    def wait(self) -> list:
+        """Settle the transfer: charge exposed time, return per-rank results."""
+        if self._completed:
+            return self._results
+        return self._engine._wait(self)
+
+    def describe(self) -> str:
+        return f"#{self.seq} {self.op} ({self.category}, {self.seconds * 1e6:.1f}us)"
+
+
+class StreamRuntime:
+    """Nonblocking-collective scheduler over a :class:`SimCluster`.
+
+    With ``overlap=False`` every ``i*`` collective degenerates to the
+    corresponding blocking SimCluster barrier and returns an
+    already-completed handle — trainers are written against one API and
+    the flag alone selects the execution mode, which is exactly what the
+    bit-identical equivalence guarantee rests on.
+    """
+
+    def __init__(
+        self,
+        cluster: "SimCluster",
+        *,
+        overlap: bool = True,
+        n_comm_streams: int = 2,
+        compute: ComputeModel | None = None,
+        bucket_bytes: int = 1 << 22,
+    ):
+        if n_comm_streams < 1:
+            raise ValueError(f"need at least one comm stream, got {n_comm_streams}")
+        if bucket_bytes < 1:
+            raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+        self.cluster = cluster
+        self.overlap = overlap
+        self.n_comm_streams = int(n_comm_streams)
+        self.compute = compute
+        self.bucket_bytes = int(bucket_bytes)
+        #: (rank id, stream index >= 1) -> busy-until time.
+        self._busy: dict[tuple[int, int], float] = {}
+        #: Per-rank queues of posted-but-unmatched collective signatures.
+        self._posted: dict[int, list[_Sig]] = {}
+        self._pending: list[CollectiveHandle] = []
+        self._seq = 0
+        # Measured hidden/exposed comm seconds per category (per-rank mean).
+        self._hidden: dict[str, float] = {}
+        self._exposed: dict[str, float] = {}
+
+    # -- posting / matching --------------------------------------------------
+
+    def post(self, rank: int, op: str, *, category: str | None = None, nbytes: float = 0.0) -> None:
+        """Low-level per-rank posting (diagnostics/testing).
+
+        The high-level ``i*`` collectives post for every live rank and
+        match immediately; ``post`` lets a single rank announce an
+        operation on its own, which is how mismatches are provoked and
+        detected.
+        """
+        self._posted.setdefault(rank, []).append(
+            (op, category if category is not None else op, int(round(nbytes)))
+        )
+
+    def _post_all(self, sig: _Sig) -> None:
+        for r in self.cluster.ranks:
+            self._posted.setdefault(r.rank, []).append(sig)
+        self._match()
+
+    def _match(self) -> None:
+        """Pop matched collective signatures off every live rank's queue."""
+        live = [r.rank for r in self.cluster.ranks]
+        queues = [self._posted.get(rank, []) for rank in live]
+        while queues and all(queues):
+            heads = {q[0] for q in queues}
+            if len(heads) > 1:
+                raise UnmatchedCollectiveError(
+                    "collective mismatch: live ranks posted conflicting operations\n"
+                    + self.pending_report()
+                )
+            for q in queues:
+                q.pop(0)
+
+    def pending_report(self) -> str:
+        """Per-rank report of unmatched postings and un-waited handles."""
+        lines = []
+        ranks = sorted({r.rank for r in self.cluster.ranks} | set(self._posted))
+        unwaited = [h for h in self._pending if not h.done]
+        for rank in ranks:
+            posted = ", ".join(
+                f"{op}[{cat}, {nbytes}B]" for op, cat, nbytes in self._posted.get(rank, [])
+            )
+            awaiting = ", ".join(h.describe() for h in unwaited if rank in h._streams)
+            lines.append(
+                f"  rank {rank}: posted=[{posted or '-'}] awaiting-wait=[{awaiting or '-'}]"
+            )
+        return "\n".join(lines) or "  (no ranks)"
+
+    def assert_quiesced(self) -> None:
+        """Raise unless every collective was matched and waited.
+
+        Call at iteration boundaries: it is the simulator's stand-in for
+        a collective watchdog, turning a would-be hang into a diagnostic.
+        """
+        if any(q for q in self._posted.values()):
+            raise UnmatchedCollectiveError(
+                "unmatched collectives at quiesce: some ranks posted operations "
+                "the rest never joined\n" + self.pending_report()
+            )
+        unwaited = [h for h in self._pending if not h.done]
+        if unwaited:
+            raise DeadlockError(
+                f"{len(unwaited)} collective(s) issued but never waited\n"
+                + self.pending_report()
+            )
+        self._pending.clear()
+
+    # -- scheduling core -----------------------------------------------------
+
+    def _issue(
+        self,
+        op: str,
+        category: str,
+        seconds: float,
+        *,
+        nbytes_wire: float,
+        finalize: Callable[[], list],
+        attrs: dict,
+    ) -> CollectiveHandle:
+        live = list(self.cluster.ranks)
+        self._post_all((op, category, int(round(nbytes_wire))))
+        # Least-busy comm stream per rank (ties -> lowest index): the
+        # deterministic equivalent of a round-robin stream pool.
+        streams: dict[int, int] = {}
+        start = 0.0
+        for r in live:
+            idx = min(
+                range(1, self.n_comm_streams + 1),
+                key=lambda i: (self._busy.get((r.rank, i), 0.0), i),
+            )
+            streams[r.rank] = idx
+            start = max(start, r.clock.now, self._busy.get((r.rank, idx), 0.0))
+        for r in live:
+            self._busy[(r.rank, streams[r.rank])] = start + seconds
+        self._seq += 1
+        handle = CollectiveHandle(
+            self, op, category, seconds, start, self._seq, streams, finalize, attrs
+        )
+        self._pending.append(handle)
+        return handle
+
+    def _wait(self, handle: CollectiveHandle) -> list:
+        cluster = self.cluster
+        extras: dict[int, float] = {}
+        if cluster.faults is not None:
+            extras = cluster.faults.collective_extras(
+                handle.op, handle.seconds, [r.rank for r in cluster.ranks]
+            )
+        tracer = get_tracer()
+        world = max(len(cluster.ranks), 1)
+        for r in cluster.ranks:
+            done = handle.start + handle.seconds + extras.get(r.rank, 0.0)
+            stream = handle._streams.get(r.rank, 1)
+            key = (r.rank, stream)
+            if done > self._busy.get(key, 0.0):
+                self._busy[key] = done
+            duration = done - handle.start
+            if tracer.enabled and duration > 0.0:
+                tracer.add_span(
+                    handle.op,
+                    handle.category,
+                    duration,
+                    start=handle.start,
+                    track=SIM_TRACK,
+                    rank=r.rank,
+                    stream=stream,
+                    **handle.attrs,
+                )
+            now = r.clock.now
+            hidden = min(max(now - handle.start, 0.0), duration)
+            self._hidden[handle.category] = (
+                self._hidden.get(handle.category, 0.0) + hidden / world
+            )
+            self._exposed[handle.category] = (
+                self._exposed.get(handle.category, 0.0) + (duration - hidden) / world
+            )
+            if done > now:
+                # The exposed tail (plus any idle gap waiting for the
+                # transfer to even start) lands on the compute clock under
+                # the collective's category; the stream-0 span mirrors the
+                # clock mutation exactly, keeping breakdown reconciliation.
+                if tracer.enabled:
+                    tracer.add_span(
+                        handle.op,
+                        handle.category,
+                        done - now,
+                        start=now,
+                        track=SIM_TRACK,
+                        rank=r.rank,
+                        **handle.attrs,
+                    )
+                r.clock.sync_to(done, handle.category)
+        handle._results = handle._finalize()
+        handle._completed = True
+        return handle._results
+
+    # -- overlap measurement -------------------------------------------------
+
+    def overlap_stats(self) -> dict[str, dict[str, float]]:
+        """Measured hidden/exposed comm seconds per category (per-rank mean)."""
+        out: dict[str, dict[str, float]] = {}
+        for cat in sorted(set(self._hidden) | set(self._exposed)):
+            hidden = self._hidden.get(cat, 0.0)
+            exposed = self._exposed.get(cat, 0.0)
+            out[cat] = {"hidden": hidden, "exposed": exposed, "total": hidden + exposed}
+        return out
+
+    def hidden_comm_seconds(self) -> float:
+        return sum(self._hidden.values())
+
+    def exposed_comm_seconds(self) -> float:
+        return sum(self._exposed.values())
+
+    def hidden_fraction(self) -> float:
+        """Share of issued comm time that hid under other work — the
+        scheduler-measured value :meth:`IterationBreakdown.overlapped_total`
+        accepts as ``measured_overlap``."""
+        total = self.hidden_comm_seconds() + self.exposed_comm_seconds()
+        return self.hidden_comm_seconds() / total if total > 0 else 0.0
+
+    # -- nonblocking collectives ---------------------------------------------
+
+    def iallreduce(
+        self,
+        arrays: list[np.ndarray],
+        *,
+        average: bool = False,
+        category: str = "allreduce",
+        nbytes: float | None = None,
+    ) -> CollectiveHandle:
+        """Nonblocking :meth:`SimCluster.allreduce`; same data, deferred time."""
+        c = self.cluster
+        if not self.overlap:
+            return CollectiveHandle.completed(
+                "allreduce",
+                category,
+                c.allreduce(arrays, average=average, category=category, nbytes=nbytes),
+            )
+        total = c._reduce_data(arrays, "allreduce", average=average)
+        result = total.astype(np.asarray(arrays[0]).dtype)
+        wire = result.nbytes if nbytes is None else nbytes
+        seconds = allreduce_time(c.network, c.world_size, wire, c.gpus_per_node)
+        c._record_collective("allreduce", seconds, result.nbytes, wire)
+        world = c.world_size
+        return self._issue(
+            "allreduce",
+            category,
+            seconds,
+            nbytes_wire=wire,
+            finalize=lambda: [result.copy() for _ in range(world)],
+            attrs={"nbytes_raw": result.nbytes, "nbytes_wire": wire},
+        )
+
+    def iallgather(
+        self,
+        objects: list[object],
+        *,
+        nbytes_per_rank: float | None = None,
+        category: str = "allgather",
+    ) -> CollectiveHandle:
+        """Nonblocking :meth:`SimCluster.allgather` (corruption at wait)."""
+        c = self.cluster
+        if not self.overlap:
+            return CollectiveHandle.completed(
+                "allgather",
+                category,
+                c.allgather(objects, nbytes_per_rank=nbytes_per_rank, category=category),
+            )
+        c._check(objects)
+        raw_sizes = [o.nbytes for o in objects if isinstance(o, np.ndarray)]
+        if nbytes_per_rank is None:
+            nbytes_per_rank = max(raw_sizes) if raw_sizes else 0.0
+        seconds = allgather_time(c.network, c.world_size, nbytes_per_rank, c.gpus_per_node)
+        raw = max(raw_sizes) if raw_sizes else nbytes_per_rank
+        c._record_collective(
+            "allgather", seconds, raw * c.world_size, nbytes_per_rank * c.world_size
+        )
+        data = c._allgather_data(objects)  # sender buffers copied at issue
+        return self._issue(
+            "allgather",
+            category,
+            seconds,
+            nbytes_wire=nbytes_per_rank,
+            finalize=lambda: c._inject_allgather_faults(data),
+            attrs={"nbytes_raw": raw, "nbytes_wire": nbytes_per_rank},
+        )
+
+    def ibroadcast(
+        self,
+        obj: object,
+        root: int = 0,
+        *,
+        nbytes: float | None = None,
+        category: str = "broadcast",
+    ) -> CollectiveHandle:
+        """Nonblocking :meth:`SimCluster.broadcast` (corruption at wait)."""
+        c = self.cluster
+        if not self.overlap:
+            return CollectiveHandle.completed(
+                "broadcast", category, c.broadcast(obj, root, nbytes=nbytes, category=category)
+            )
+        raw = obj.nbytes if isinstance(obj, np.ndarray) else 0.0
+        if nbytes is None:
+            nbytes = raw
+        seconds = broadcast_time(c.network, c.world_size, nbytes, c.gpus_per_node)
+        c._record_collective("broadcast", seconds, raw, nbytes)
+        data = c._broadcast_data(obj, root)
+        return self._issue(
+            "broadcast",
+            category,
+            seconds,
+            nbytes_wire=nbytes,
+            finalize=lambda: c._inject_broadcast_faults(data, root),
+            attrs={"root": root, "nbytes_raw": raw, "nbytes_wire": nbytes},
+        )
+
+    def ireduce_scatter(
+        self,
+        arrays: list[np.ndarray],
+        *,
+        category: str = "reduce_scatter",
+        nbytes: float | None = None,
+    ) -> CollectiveHandle:
+        """Nonblocking :meth:`SimCluster.reduce_scatter`."""
+        c = self.cluster
+        if not self.overlap:
+            return CollectiveHandle.completed(
+                "reduce_scatter",
+                category,
+                c.reduce_scatter(arrays, category=category, nbytes=nbytes),
+            )
+        total = c._reduce_data(arrays, "reduce_scatter", average=False)
+        chunks = np.array_split(total.ravel(), c.world_size)
+        wire = total.nbytes if nbytes is None else nbytes
+        seconds = reduce_scatter_time(c.network, c.world_size, wire, c.gpus_per_node)
+        c._record_collective("reduce_scatter", seconds, total.nbytes, wire)
+        dtype = np.asarray(arrays[0]).dtype
+        return self._issue(
+            "reduce_scatter",
+            category,
+            seconds,
+            nbytes_wire=wire,
+            finalize=lambda: [ch.astype(dtype).copy() for ch in chunks],
+            attrs={"nbytes_raw": total.nbytes, "nbytes_wire": wire},
+        )

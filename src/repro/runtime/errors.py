@@ -1,0 +1,34 @@
+"""Scheduler error types: deadlocks and unmatched collectives.
+
+Both exceptions carry a per-rank pending-op report (the same text a real
+collective library's watchdog would dump) so a hang in the simulated
+schedule is diagnosable from the exception message alone.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RuntimeSchedulerError", "UnmatchedCollectiveError", "DeadlockError"]
+
+
+class RuntimeSchedulerError(RuntimeError):
+    """Base class for scheduling-contract violations in repro.runtime."""
+
+
+class UnmatchedCollectiveError(RuntimeSchedulerError):
+    """Ranks posted collectives that do not line up.
+
+    Raised either at issue time, when the heads of the per-rank posting
+    queues disagree (e.g. one rank posted an allreduce while another
+    posted an allgather, or the sizes differ), or at quiesce time, when
+    some ranks posted an operation the rest never joined — the classic
+    recipe for an MPI hang.
+    """
+
+
+class DeadlockError(RuntimeSchedulerError):
+    """Issued collectives were never waited before quiesce.
+
+    In the simulator nothing truly blocks, but an un-waited handle means
+    the program would never have synchronised with that transfer — on
+    real hardware, a use-before-arrival race or a leaked request.
+    """

@@ -52,8 +52,21 @@ def chrome_trace(tracer: Tracer) -> dict:
     Events are complete ("ph": "X") events in microseconds, sorted so
     timestamps are monotonically non-decreasing within each (pid, tid)
     row, parents before their children.
+
+    Each (rank, stream) pair renders as its own thread lane with
+    ``tid = rank * n_streams + stream`` (``n_streams`` per track), so the
+    comm streams of :mod:`repro.runtime` appear directly beneath their
+    rank's compute lane.  Tracks without comm-stream spans keep
+    ``tid == rank``, preserving the pre-stream layout.
     """
     pids = _pid_map(tracer)
+    n_streams = {
+        track: max(tracer.streams(track), default=0) + 1 for track in tracer.tracks()
+    }
+
+    def tid_of(track: str, rank: int, stream: int) -> int:
+        return rank * n_streams[track] + stream
+
     events: list[dict] = []
     for track in tracer.tracks():
         pid = pids[track]
@@ -66,19 +79,22 @@ def chrome_trace(tracer: Tracer) -> dict:
                 "args": {"name": track},
             }
         )
-        for rank in tracer.ranks(track):
-            label = f"rank {rank}" if track == SIM_TRACK else f"{track} {rank}"
+        lanes = sorted({(s.rank, s.stream) for s in tracer.spans(track=track)})
+        for rank, stream in lanes:
+            base = f"rank {rank}" if track == SIM_TRACK else f"{track} {rank}"
+            label = base if stream == 0 else f"{base} · comm{stream}"
             events.append(
                 {
                     "ph": "M",
                     "name": "thread_name",
                     "pid": pid,
-                    "tid": rank,
+                    "tid": tid_of(track, rank, stream),
                     "args": {"name": label},
                 }
             )
     spans = sorted(
-        tracer.spans(), key=lambda s: (pids[s.track], s.rank, s.start, -s.duration, s.depth)
+        tracer.spans(),
+        key=lambda s: (pids[s.track], tid_of(s.track, s.rank, s.stream), s.start, -s.duration, s.depth),
     )
     for s in spans:
         events.append(
@@ -87,7 +103,7 @@ def chrome_trace(tracer: Tracer) -> dict:
                 "name": s.name,
                 "cat": s.category,
                 "pid": pids[s.track],
-                "tid": s.rank,
+                "tid": tid_of(s.track, s.rank, s.stream),
                 "ts": s.start * 1e6,
                 "dur": s.duration * 1e6,
                 "args": s.attrs,

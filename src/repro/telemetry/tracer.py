@@ -58,6 +58,11 @@ class Span:
     track: str = SIM_TRACK
     #: Sub-track: simulated rank on ``sim``, thread/stream index elsewhere.
     rank: int = 0
+    #: Execution stream within the rank: 0 is the compute stream (the
+    #: rank's :class:`SimClock` timeline); 1.. are comm streams used by
+    #: :mod:`repro.runtime`'s nonblocking collectives.  The Chrome-trace
+    #: exporter renders each (rank, stream) pair as its own lane.
+    stream: int = 0
     #: Nesting depth (0 = top level) for summary rendering.
     depth: int = 0
     attrs: dict = field(default_factory=dict)
@@ -184,6 +189,7 @@ class Tracer:
         start: float | None = None,
         track: str = SIM_TRACK,
         rank: int = 0,
+        stream: int = 0,
         depth: int = 0,
         **attrs,
     ) -> Span:
@@ -191,12 +197,21 @@ class Tracer:
 
         With ``start=None`` the span is stacked at the (track, rank)
         cursor — the end of the latest span there — which is how modelled
-        device kernels build a sequential timeline.
+        device kernels build a sequential timeline.  ``stream`` places the
+        span on a comm-stream sub-lane of the rank (0 = compute stream).
         """
         if start is None:
             start = self.cursor(track, rank)
         span = Span(
-            name, category, start, duration, track=track, rank=rank, depth=depth, attrs=attrs
+            name,
+            category,
+            start,
+            duration,
+            track=track,
+            rank=rank,
+            stream=stream,
+            depth=depth,
+            attrs=attrs,
         )
         self._append(span)
         return span
@@ -232,8 +247,17 @@ class Tracer:
         """Sorted ranks with at least one span on ``track``."""
         return sorted({s.rank for s in self.spans(track=track)})
 
+    def streams(self, track: str = SIM_TRACK) -> list[int]:
+        """Sorted stream indices with at least one span on ``track``."""
+        return sorted({s.stream for s in self.spans(track=track)})
+
     def category_totals(
-        self, *, track: str = SIM_TRACK, rank: int | None = None, depth: int = 0
+        self,
+        *,
+        track: str = SIM_TRACK,
+        rank: int | None = None,
+        depth: int = 0,
+        stream: int | None = 0,
     ) -> dict[str, float]:
         """Total span seconds per category at one nesting depth of a track.
 
@@ -241,8 +265,16 @@ class Tracer:
         spans never double-count their parents' time.  With ``rank=None``
         the totals are the *mean across ranks* present on the track — the
         same convention as ``SimCluster.breakdown()``.
+
+        ``stream`` defaults to 0 (the compute stream, i.e. the rank's
+        ``SimClock`` timeline) so sim-track totals keep reconciling
+        exactly with ``SimCluster.breakdown()`` even when comm-stream
+        spans from :mod:`repro.runtime` are present; pass ``stream=None``
+        to aggregate every lane.
         """
         spans = [s for s in self.spans(track=track) if s.depth == depth]
+        if stream is not None:
+            spans = [s for s in spans if s.stream == stream]
         if rank is not None:
             spans = [s for s in spans if s.rank == rank]
             n_ranks = 1
@@ -298,6 +330,9 @@ class NullTracer:
         return []
 
     def ranks(self, track: str = SIM_TRACK) -> list[int]:
+        return []
+
+    def streams(self, track: str = SIM_TRACK) -> list[int]:
         return []
 
     def category_totals(self, **kwargs) -> dict[str, float]:

@@ -89,6 +89,7 @@ class DistributedSgdTrainer:
         lr_schedule=None,
         compressor: GradientCompressor | None = None,
         ef_residual_guard: float | None = None,
+        runtime=None,
     ):
         self.model = model
         self.task = task
@@ -96,6 +97,12 @@ class DistributedSgdTrainer:
         self.cluster = cluster
         self.lr_schedule = lr_schedule
         self.compressor = compressor
+        #: Optional :class:`repro.runtime.StreamRuntime`.  When set, the
+        #: gradient allreduce is issued in DDP-style byte buckets during
+        #: (modelled) backward compute; with ``runtime.overlap`` the
+        #: buckets travel on comm streams and only their exposed tails
+        #: cost simulated time.  Numerics are bit-identical either way.
+        self.runtime = runtime
         #: When the compressor is an ErrorFeedback wrapper and its residual
         #: L2 norm climbs past this threshold, the trainer resets the EF
         #: state and degrades the inner compressor (graceful degradation
@@ -145,18 +152,10 @@ class DistributedSgdTrainer:
             if m.enabled:
                 m.counter("faults.recovered", kind="degrade").inc()
 
-    def _step(self, global_idx: np.ndarray, tracer) -> float:
-        failures = self.cluster.begin_iteration(self.t)
-        if failures:
-            m = get_metrics()
-            if m.enabled:
-                m.counter("faults.recovered", kind="rank_failure").inc(len(failures))
-        world = self.cluster.world_size
-        if self.cluster.faults is not None and len(global_idx) % world:
-            # Elastic continuation: trim the batch so it shards evenly
-            # over the shrunken world (averaging rescales automatically).
-            global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
-        shards = shard(global_idx, world)
+    def _local_grads(
+        self, shards: list[np.ndarray], tracer
+    ) -> tuple[list[float], list[np.ndarray]]:
+        """Per-shard forward/backward; returns (losses, per-rank grads)."""
         per_rank_grads: list[np.ndarray] = []
         losses: list[float] = []
         for r, idx in enumerate(shards):
@@ -174,11 +173,33 @@ class DistributedSgdTrainer:
                 g = self.compressor.decompress(ct).ravel()
             per_rank_grads.append(g)
             losses.append(loss)
-        with tracer.span("grad_allreduce", "comm"):
-            reduced = self.cluster.allreduce(
-                per_rank_grads, average=True, category="grad_allreduce"
-            )
-        self._set_flat_grad(self._sanitize(reduced[0]))
+        return losses, per_rank_grads
+
+    def _trimmed_shards(self, global_idx: np.ndarray) -> list[np.ndarray]:
+        world = self.cluster.world_size
+        if self.cluster.faults is not None and len(global_idx) % world:
+            # Elastic continuation: trim the batch so it shards evenly
+            # over the shrunken world (averaging rescales automatically).
+            global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
+        return shard(global_idx, world)
+
+    def _step(self, global_idx: np.ndarray, tracer) -> float:
+        failures = self.cluster.begin_iteration(self.t)
+        if failures:
+            m = get_metrics()
+            if m.enabled:
+                m.counter("faults.recovered", kind="rank_failure").inc(len(failures))
+        shards = self._trimmed_shards(global_idx)
+        losses, per_rank_grads = self._local_grads(shards, tracer)
+        if self.runtime is not None:
+            reduced0 = self._bucketed_allreduce(per_rank_grads, len(shards[0]), tracer)
+        else:
+            with tracer.span("grad_allreduce", "comm"):
+                reduced = self.cluster.allreduce(
+                    per_rank_grads, average=True, category="grad_allreduce"
+                )
+            reduced0 = reduced[0]
+        self._set_flat_grad(self._sanitize(reduced0))
         self._check_ef_residual()
         if self.lr_schedule is not None:
             self.optimizer.lr = self.lr_schedule.lr_at(self.t)
@@ -194,6 +215,44 @@ class DistributedSgdTrainer:
             m.record_step(self.t, sim_time=self.cluster.time)
         self.t += 1
         return mean_loss
+
+    def _bucketed_allreduce(
+        self, per_rank_grads: list[np.ndarray], samples_per_rank: int, tracer
+    ) -> np.ndarray:
+        """Issue the gradient allreduce in byte buckets during backward.
+
+        Bucket ``b``'s collective goes on the wire while buckets
+        ``b+1..`` are still (in modelled time) being produced by the
+        backward pass — DDP's overlap pattern, scheduled for real by the
+        runtime.  Per-bucket reduction math is element-wise identical to
+        the single whole-tensor allreduce.
+        """
+        from repro.runtime.bucketing import split_bounds
+
+        rt = self.runtime
+        cm = rt.compute
+        n_params = per_rank_grads[0].size
+        if cm is not None:
+            self.cluster.advance_all(
+                cm.forward_seconds(n_params, samples_per_rank), "forward"
+            )
+        bounds = split_bounds(per_rank_grads[0], rt.bucket_bytes)
+        bwd = cm.backward_seconds(n_params, samples_per_rank) if cm is not None else 0.0
+        handles = []
+        with tracer.span("grad_allreduce", "comm", n_buckets=len(bounds)):
+            for lo, hi in bounds:
+                if bwd:
+                    self.cluster.advance_all(bwd / len(bounds), "backward")
+                handles.append(
+                    rt.iallreduce(
+                        [g[lo:hi] for g in per_rank_grads],
+                        average=True,
+                        category="grad_allreduce",
+                    )
+                )
+            reduced = np.concatenate([h.wait()[0] for h in handles])
+        rt.assert_quiesced()
+        return reduced
 
     def train(self, *, iterations: int, batch_size: int, eval_every: int = 0, seed: int = 0):
         for t, idx in enumerate(

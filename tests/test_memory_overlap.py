@@ -59,24 +59,44 @@ class TestOverlap:
         return m.breakdown()
 
     def test_overlap_reduces_total(self, breakdown):
-        assert breakdown.overlapped_total(0.5) < breakdown.total
+        assert breakdown.overlapped_total(assumed_overlap=0.5) < breakdown.total
 
     def test_zero_overlap_is_additive(self, breakdown):
-        assert breakdown.overlapped_total(0.0) == pytest.approx(breakdown.total)
+        assert breakdown.overlapped_total(assumed_overlap=0.0) == pytest.approx(breakdown.total)
 
     def test_full_overlap_floors_at_compute(self, breakdown):
-        t = breakdown.overlapped_total(1.0)
+        t = breakdown.overlapped_total(assumed_overlap=1.0)
         floor = breakdown.fwd_bwd + breakdown.kfac_compute + breakdown.others
         assert t >= floor
         assert t <= breakdown.total
 
     def test_monotone_in_overlap(self, breakdown):
-        ts = [breakdown.overlapped_total(f) for f in (0.0, 0.3, 0.6, 0.9)]
+        ts = [breakdown.overlapped_total(assumed_overlap=f) for f in (0.0, 0.3, 0.6, 0.9)]
         assert all(a >= b for a, b in zip(ts, ts[1:]))
 
     def test_invalid_fraction(self, breakdown):
         with pytest.raises(ValueError):
-            breakdown.overlapped_total(1.5)
+            breakdown.overlapped_total(assumed_overlap=1.5)
+        with pytest.raises(ValueError):
+            breakdown.overlapped_total(measured_overlap=-0.1)
+
+    def test_positional_fraction_rejected(self, breakdown):
+        """The hand-waved constant must now be named explicitly."""
+        with pytest.raises(TypeError):
+            breakdown.overlapped_total(0.5)
+
+    def test_exactly_one_mode_required(self, breakdown):
+        with pytest.raises(ValueError):
+            breakdown.overlapped_total()
+        with pytest.raises(ValueError):
+            breakdown.overlapped_total(measured_overlap=0.4, assumed_overlap=0.5)
+
+    def test_measured_overlap_scales_comm(self, breakdown):
+        comm = breakdown.kfac_allgather + breakdown.kfac_allreduce
+        full = breakdown.overlapped_total(measured_overlap=0.0)
+        half = breakdown.overlapped_total(measured_overlap=0.5)
+        assert full == pytest.approx(breakdown.total)
+        assert full - half == pytest.approx(0.5 * comm)
 
     def test_compression_still_wins_under_overlap(self):
         """Even with generous overlap, compression shortens the exposed
@@ -86,6 +106,15 @@ class TestOverlap:
         m = KfacIterationModel(
             bert_large_catalog(), PLATFORM1, 16, profile=MODEL_TIMING_PROFILES["bert-large"]
         )
-        base = m.breakdown().overlapped_total(0.5)
-        comp = m.breakdown(CompressionSpec.compso(22.0)).overlapped_total(0.5)
+        base = m.breakdown().overlapped_total(assumed_overlap=0.5)
+        comp = m.breakdown(CompressionSpec.compso(22.0)).overlapped_total(assumed_overlap=0.5)
         assert comp < base
+
+    def test_measured_grad_overlap_in_others(self):
+        m = KfacIterationModel(
+            resnet50_catalog(), PLATFORM1, 16, profile=MODEL_TIMING_PROFILES["resnet50"]
+        )
+        assert m.others_time(measured_grad_overlap=1.0) < m.others_time()
+        assert m.others_time(measured_grad_overlap=m.profile.grad_overlap) == pytest.approx(
+            m.others_time()
+        )

@@ -1,0 +1,344 @@
+"""repro.runtime: handles, scheduling, matching, bucketing, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.distributed import SimCluster
+from repro.runtime import (
+    Bucketer,
+    ComputeModel,
+    DeadlockError,
+    StreamRuntime,
+    UnmatchedCollectiveError,
+    split_bounds,
+)
+from repro.telemetry import SIM_TRACK
+from repro.telemetry.export import chrome_trace
+
+
+def make_pair(overlap=True, **kw):
+    cluster = SimCluster(1, 4, seed=0)
+    return cluster, StreamRuntime(cluster, overlap=overlap, **kw)
+
+
+def per_rank(world, n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n).astype(np.float32) for _ in range(world)]
+
+
+class TestDataEquivalence:
+    """Each icollective returns exactly what its blocking twin returns."""
+
+    def test_iallreduce(self):
+        arrays = per_rank(4)
+        c1, rt = make_pair()
+        want = SimCluster(1, 4, seed=0).allreduce(arrays, average=True)
+        got = rt.iallreduce(arrays, average=True).wait()
+        rt.assert_quiesced()
+        for w, g in zip(want, got):
+            assert np.array_equal(w, g)
+
+    def test_iallgather(self):
+        arrays = per_rank(4)
+        c1, rt = make_pair()
+        want = SimCluster(1, 4, seed=0).allgather(arrays)
+        got = rt.iallgather(arrays).wait()
+        rt.assert_quiesced()
+        for wrow, grow in zip(want, got):
+            for w, g in zip(wrow, grow):
+                assert np.array_equal(w, g)
+
+    def test_ibroadcast(self):
+        payload = per_rank(1)[0]
+        c1, rt = make_pair()
+        want = SimCluster(1, 4, seed=0).broadcast(payload, root=2)
+        got = rt.ibroadcast(payload, root=2).wait()
+        rt.assert_quiesced()
+        for w, g in zip(want, got):
+            assert np.array_equal(w, g)
+
+    def test_ireduce_scatter(self):
+        arrays = per_rank(4)
+        c1, rt = make_pair()
+        want = SimCluster(1, 4, seed=0).reduce_scatter(arrays)
+        got = rt.ireduce_scatter(arrays).wait()
+        rt.assert_quiesced()
+        for w, g in zip(want, got):
+            assert np.array_equal(w, g)
+
+
+class TestHandles:
+    def test_double_wait_idempotent(self):
+        _, rt = make_pair()
+        h = rt.iallreduce(per_rank(4), average=True)
+        first = h.wait()
+        t_after = rt.cluster.time
+        again = h.wait()
+        assert again is first
+        assert rt.cluster.time == t_after
+
+    def test_out_of_order_waits(self):
+        """Waiting in reverse issue order still settles deterministically."""
+        arrays = per_rank(4)
+        _, rt = make_pair()
+        handles = [rt.iallreduce([a + i for a in arrays], average=True) for i in range(3)]
+        results = [h.wait()[0] for h in reversed(handles)]
+        rt.assert_quiesced()
+        _, rt2 = make_pair()
+        handles2 = [rt2.iallreduce([a + i for a in arrays], average=True) for i in range(3)]
+        results2 = [h.wait()[0] for h in handles2]
+        rt2.assert_quiesced()
+        for r, r2 in zip(results, reversed(results2)):
+            assert np.array_equal(r, r2)
+        assert rt.cluster.time == rt2.cluster.time
+
+    def test_test_tracks_clock(self):
+        cluster, rt = make_pair()
+        h = rt.iallreduce(per_rank(4), average=True)
+        assert not h.test()
+        cluster.advance_all(1.0, "forward")  # far past the transfer end
+        assert h.test()
+        before = cluster.time
+        h.wait()
+        assert cluster.time == before  # fully hidden: wait is free
+        rt.assert_quiesced()
+
+    def test_done_and_describe(self):
+        _, rt = make_pair()
+        h = rt.iallreduce(per_rank(4), average=True)
+        assert not h.done
+        assert "allreduce" in h.describe()
+        h.wait()
+        assert h.done
+        rt.assert_quiesced()
+
+
+class TestMatching:
+    def test_unmatched_heads_raise_with_report(self):
+        _, rt = make_pair()
+        rt.post(0, "allreduce", category="grad", nbytes=64)
+        rt.post(1, "broadcast", category="grad", nbytes=64)
+        rt.post(2, "allreduce", category="grad", nbytes=64)
+        rt.post(3, "allreduce", category="grad", nbytes=64)
+        with pytest.raises(UnmatchedCollectiveError) as ei:
+            rt._match()
+        msg = str(ei.value)
+        assert "rank 1" in msg and "broadcast" in msg
+
+    def test_size_mismatch_detected(self):
+        _, rt = make_pair()
+        for r in range(3):
+            rt.post(r, "allreduce", category="grad", nbytes=64)
+        rt.post(3, "allreduce", category="grad", nbytes=128)
+        with pytest.raises(UnmatchedCollectiveError):
+            rt._match()
+
+    def test_partial_posting_fails_quiesce(self):
+        _, rt = make_pair()
+        rt.post(0, "allreduce", category="grad", nbytes=64)
+        with pytest.raises(UnmatchedCollectiveError) as ei:
+            rt.assert_quiesced()
+        assert "rank 0" in str(ei.value)
+
+    def test_unwaited_handle_is_deadlock(self):
+        _, rt = make_pair()
+        rt.iallreduce(per_rank(4), average=True)
+        with pytest.raises(DeadlockError) as ei:
+            rt.assert_quiesced()
+        assert "never waited" in str(ei.value)
+
+    def test_clean_quiesce_passes(self):
+        _, rt = make_pair()
+        rt.iallreduce(per_rank(4), average=True).wait()
+        rt.assert_quiesced()
+
+
+class TestOverlapAccounting:
+    def test_hidden_when_compute_covers_comm(self):
+        cluster, rt = make_pair()
+        h = rt.iallreduce(per_rank(4, n=1024), average=True)
+        cluster.advance_all(1.0, "forward")
+        h.wait()
+        rt.assert_quiesced()
+        assert rt.hidden_comm_seconds() > 0.0
+        assert rt.exposed_comm_seconds() == 0.0
+        assert rt.hidden_fraction() == pytest.approx(1.0)
+
+    def test_exposed_when_waited_immediately(self):
+        _, rt = make_pair()
+        rt.iallreduce(per_rank(4, n=1024), average=True).wait()
+        rt.assert_quiesced()
+        assert rt.hidden_comm_seconds() == 0.0
+        assert rt.exposed_comm_seconds() > 0.0
+
+    def test_stats_keyed_by_category(self):
+        cluster, rt = make_pair()
+        rt.iallreduce(per_rank(4), average=True, category="grad_allreduce").wait()
+        rt.ibroadcast(per_rank(1)[0], root=0, category="kfac_allgather").wait()
+        rt.assert_quiesced()
+        stats = rt.overlap_stats()
+        assert set(stats) == {"grad_allreduce", "kfac_allgather"}
+        for s in stats.values():
+            assert s["total"] == pytest.approx(s["hidden"] + s["exposed"])
+
+    def test_blocking_mode_measures_nothing(self):
+        cluster, rt = make_pair(overlap=False)
+        h = rt.iallreduce(per_rank(4), average=True)
+        assert h.done  # already completed: the blocking barrier ran
+        h.wait()
+        rt.assert_quiesced()
+        assert rt.hidden_comm_seconds() == 0.0
+        assert rt.exposed_comm_seconds() == 0.0
+        assert cluster.time > 0.0  # paid on the barrier instead
+
+    def test_wait_matches_blocking_cost_when_idle(self):
+        """With no compute in between, overlap buys nothing: the exposed
+        tail equals the blocking barrier's advance."""
+        arrays = per_rank(4, n=4096)
+        blocking = SimCluster(1, 4, seed=0)
+        blocking.allreduce(arrays, average=True)
+        cluster, rt = make_pair()
+        rt.iallreduce(arrays, average=True).wait()
+        rt.assert_quiesced()
+        assert cluster.time == pytest.approx(blocking.time)
+
+
+class TestComputeModel:
+    def test_scaling(self):
+        cm = ComputeModel(train_flops=1e9)
+        assert cm.forward_seconds(1000, 32) == pytest.approx(2 * 1000 * 32 / 1e9)
+        assert cm.backward_seconds(1000, 32) == pytest.approx(
+            2 * cm.forward_seconds(1000, 32)
+        )
+        assert cm.eig_seconds(64) > 0
+        assert cm.precondition_seconds(64, 32) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeModel(train_flops=0.0)
+        with pytest.raises(ValueError):
+            ComputeModel(backward_factor=-1.0)
+
+    def test_runtime_validation(self):
+        cluster = SimCluster(1, 2)
+        with pytest.raises(ValueError):
+            StreamRuntime(cluster, n_comm_streams=0)
+        with pytest.raises(ValueError):
+            StreamRuntime(cluster, bucket_bytes=0)
+
+
+class TestBucketing:
+    def test_split_bounds_single_huge_tensor(self):
+        x = np.zeros(1000, dtype=np.float32)
+        assert split_bounds(x, 1 << 30) == [(0, 1000)]
+
+    def test_split_bounds_exact_threshold(self):
+        x = np.zeros(256, dtype=np.float32)  # 1024 bytes
+        assert split_bounds(x, 512) == [(0, 128), (128, 256)]
+
+    def test_split_bounds_tiny_bucket_floors_at_one(self):
+        x = np.zeros(3, dtype=np.float64)
+        assert split_bounds(x, 1) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_split_bounds_empty_and_invalid(self):
+        assert split_bounds(np.zeros(0, dtype=np.float32), 1024) == []
+        with pytest.raises(ValueError):
+            split_bounds(np.zeros(4, dtype=np.float32), 0)
+
+    def test_many_tiny_tensors_coalesce(self):
+        _, rt = make_pair()
+        b = Bucketer(rt, threshold_bytes=1024)
+        rng = np.random.default_rng(1)
+        tensors = {f"t{i}": [rng.standard_normal(16).astype(np.float32) for _ in range(4)]
+                   for i in range(32)}
+        for key, arrs in tensors.items():
+            b.add(key, arrs)
+        out = b.wait()
+        rt.assert_quiesced()
+        # 32 tensors x 64 B = 2048 B at a 1024 B threshold -> 2 buckets.
+        assert b.n_buckets == 2
+        assert set(out) == set(tensors)
+
+    def test_exact_threshold_flushes(self):
+        _, rt = make_pair()
+        b = Bucketer(rt, threshold_bytes=64)
+        b.add("a", [np.zeros(16, dtype=np.float32)] * 4)  # exactly 64 B
+        assert b.n_buckets == 1  # flushed on add, not deferred to wait
+        b.wait()
+        rt.assert_quiesced()
+
+    def test_results_match_direct_allreduce(self):
+        rng = np.random.default_rng(2)
+        items = {
+            "w": [rng.standard_normal((4, 4)).astype(np.float32) for _ in range(4)],
+            "b": [rng.standard_normal(4).astype(np.float32) for _ in range(4)],
+        }
+        _, rt = make_pair()
+        b = Bucketer(rt, threshold_bytes=32)
+        for key, arrs in items.items():
+            b.add(key, arrs)
+        out = b.wait()
+        rt.assert_quiesced()
+        ref = SimCluster(1, 4, seed=0)
+        for key, arrs in items.items():
+            want = ref.allreduce([a.ravel() for a in arrs], average=True)[0]
+            assert out[key].shape == arrs[0].shape
+            assert np.array_equal(out[key].ravel(), want)
+
+    def test_single_bucket_matches_whole_tensor(self):
+        arrays = per_rank(4, n=4096)
+        _, rt = make_pair()
+        bounds = split_bounds(arrays[0], 1024)
+        assert len(bounds) > 1
+        parts = [rt.iallreduce([a[lo:hi] for a in arrays], average=True) for lo, hi in bounds]
+        got = np.concatenate([h.wait()[0] for h in parts])
+        rt.assert_quiesced()
+        want = SimCluster(1, 4, seed=0).allreduce(arrays, average=True)[0]
+        assert np.array_equal(got, want)
+
+
+class TestTelemetryStreams:
+    def test_comm_spans_on_their_own_lanes(self):
+        with telemetry.session() as t:
+            cluster, rt = make_pair(n_comm_streams=2)
+            rt.iallreduce(per_rank(4), average=True).wait()
+            rt.assert_quiesced()
+        streams = t.tracer.streams(SIM_TRACK)
+        assert 1 in streams  # the transfer's comm lane
+        comm = [s for s in t.tracer.spans(track=SIM_TRACK) if s.stream >= 1]
+        assert comm and all(s.name == "allreduce" for s in comm)
+
+    def test_chrome_trace_tids_separate_streams(self):
+        with telemetry.session() as t:
+            cluster, rt = make_pair(n_comm_streams=2)
+            rt.iallreduce(per_rank(4), average=True).wait()
+            rt.assert_quiesced()
+        doc = chrome_trace(t.tracer)
+        names = {
+            (e["tid"], e["args"]["name"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        n_streams = max(t.tracer.streams(SIM_TRACK)) + 1
+        for rank in range(4):
+            assert (rank * n_streams, f"rank {rank}") in names
+        assert any("comm" in n for _, n in names)
+
+    def test_stream0_reconciles_with_breakdown(self):
+        """The compute-lane totals must equal the clock accounting exactly
+        even when comm travels on streams."""
+        with telemetry.session() as t:
+            cluster, rt = make_pair()
+            h = rt.iallreduce(per_rank(4, n=2048), average=True)
+            cluster.advance_all(1e-6, "forward")
+            h.wait()
+            rt.ibroadcast(per_rank(1)[0], root=1, category="kfac_allgather").wait()
+            rt.assert_quiesced()
+            breakdown = cluster.breakdown()
+        totals = t.tracer.category_totals(track=SIM_TRACK)  # stream 0 default
+        for cat, sec in breakdown.items():
+            assert totals.get(cat, 0.0) == pytest.approx(sec, abs=1e-12)
+        # stream=None additionally sees the comm lanes.
+        all_lanes = t.tracer.category_totals(track=SIM_TRACK, stream=None)
+        assert all_lanes["allreduce"] >= totals.get("allreduce", 0.0)
