@@ -38,6 +38,7 @@ __all__ = [
     "kfac_dist",
     "gpusim",
     "faults",
+    "guard",
     "data",
     "train",
     "telemetry",

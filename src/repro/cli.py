@@ -12,6 +12,9 @@ Commands:
 * ``chaos`` — run a scripted fault-injection scenario against a clean
   baseline and report convergence delta, recovery counters, and
   time-to-recover;
+* ``guard`` — run a seeded chaos plan with and without the repro.guard
+  self-healing layer (checksums off) and report the remediation
+  timeline: verdicts, circuit-breaker transitions, rollbacks;
 * ``overlap`` — train the same K-FAC job blocking and with scheduled
   compute/communication overlap, verify the two are bit-identical, and
   report the measured hidden-communication split;
@@ -40,6 +43,7 @@ _EXPERIMENTS = [
     ("Ablations", "adaptive/aggregation/fusion/packing", "bench_ablation_*.py"),
     ("Sec. 7", "future work: autotune + factor compression", "bench_ext_future_work.py"),
     ("Robustness", "chaos scenarios vs fault-free twin", "bench_ext_chaos.py"),
+    ("Robustness", "guarded vs unguarded run under corruption", "bench_ext_guard.py"),
 ]
 
 
@@ -213,6 +217,43 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_guard(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.guard.scenario import make_guard_plan, run_guard_scenario
+
+    plan = make_guard_plan(
+        args.nodes * args.gpus_per_node,
+        args.iterations,
+        seed=args.seed,
+        corruption=args.corruption,
+    )
+    print(plan.describe())
+    print()
+    result = run_guard_scenario(
+        nodes=args.nodes,
+        gpus_per_node=args.gpus_per_node,
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        corruption=args.corruption,
+    )
+    print(result.summary())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(result.to_dict(), f, indent=2)
+        print(f"\nwrote {args.json}")
+    if not result.guarded_completed or not math.isfinite(result.guarded_loss):
+        print("ERROR: guarded run did not survive the fault plan", file=sys.stderr)
+        return 1
+    if not result.timeline:
+        print("ERROR: no remediation fired — the scenario exercised nothing", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_overlap(args: argparse.Namespace) -> int:
     from repro.data import make_image_data
     from repro.distributed import SimCluster
@@ -337,6 +378,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default="", help="write the ChaosResult as JSON to this path")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "guard", help="guarded vs unguarded chaos run (remediation timeline)"
+    )
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--gpus-per-node", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=18)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--corruption", type=float, default=0.6)
+    p.add_argument("--json", default="", help="write the GuardRunResult as JSON to this path")
+    p.set_defaults(func=cmd_guard)
 
     p = sub.add_parser(
         "overlap", help="compare blocking vs scheduled-overlap execution"

@@ -36,6 +36,15 @@ class Bounds:
     eb_f: float
     eb_q: float
 
+    def __post_init__(self) -> None:
+        # A negative bound would silently invert the filtering threshold
+        # (|g| < eb_f * max|g| never holds) and poison every downstream
+        # schedule computation; reject it at construction.
+        if self.eb_f < 0:
+            raise ValueError(f"filter bound eb_f must be >= 0, got {self.eb_f}")
+        if self.eb_q < 0:
+            raise ValueError(f"quantisation bound eb_q must be >= 0, got {self.eb_q}")
+
     @property
     def filtering(self) -> bool:
         return self.eb_f > 0

@@ -1,0 +1,240 @@
+"""Guard demonstration scenario: chaos run with and without the guard.
+
+Trains the same distributed K-FAC + COMPSO workload three times with
+identical seeds:
+
+* **clean** — no faults, no guard: the reference trajectory;
+* **guarded** — under a seeded fault plan (compressed-payload bit flips
+  plus a straggler stall) with ``guard=GuardConfig(...)``;
+* **unguarded** — same fault plan, no guard.
+
+Both faulted runs decline the checksummed
+:class:`~repro.faults.recovery.ReliableChannel`
+(``reliable_channel=False``), modelling the common deployment where the
+collective library does not verify payloads.  Corruption therefore
+reaches ``decompress`` directly: the unguarded run either crashes on a
+mangled blob or silently applies garbage and diverges, while the
+guarded run detects the damage (decode failures, contract violations,
+scrubbed payloads, loss spikes), trips the compression circuit breaker,
+rides out the fault window lossless, and re-encompresses once the
+half-open probe sees consecutive clean iterations.
+
+The result object carries the full remediation timeline and breaker
+transition history — the report surfaced by ``repro guard`` and
+asserted on by the guard benchmark and the CI smoke job.
+
+Imported lazily (CLI / bench), never from ``repro.guard`` hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.guard.guard import GuardConfig
+
+__all__ = ["GuardRunResult", "make_guard_plan", "run_guard_scenario"]
+
+
+def make_guard_plan(
+    world_size: int, iterations: int, *, seed: int = 0, corruption: float = 0.6
+) -> FaultPlan:
+    """Payload bit-flips over the middle third plus one straggler stall."""
+    third = max(iterations // 3, 1)
+    plan = FaultPlan(seed=seed)
+    plan.add_corruption(
+        corruption, start=third, stop=2 * third, n_bits=4, ops=("broadcast",)
+    )
+    plan.add_straggler(1, start=third, stop=2 * third, slowdown=3.0)
+    plan.validate(world_size)
+    return plan
+
+
+@dataclass
+class GuardRunResult:
+    """Guarded vs unguarded outcome under the same seeded fault plan."""
+
+    world_size: int
+    iterations: int
+    clean_loss: float
+    guarded_loss: float
+    unguarded_loss: float
+    unguarded_raised: bool
+    unguarded_error: str
+    guarded_completed: bool
+    clean_sim_time: float
+    guarded_sim_time: float
+    verdicts: dict[str, int] = field(default_factory=dict)
+    timeline: list[dict] = field(default_factory=list)
+    breaker_transitions: list[list] = field(default_factory=list)
+    breaker_trips: int = 0
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def breaker_recovered(self) -> bool:
+        """Breaker tripped and later re-closed (half-open probe passed)."""
+        return self.breaker_trips > 0 and any(
+            frm == "half_open" and to == "closed"
+            for _, frm, to in self.breaker_transitions
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "world_size": self.world_size,
+            "iterations": self.iterations,
+            "clean_loss": self.clean_loss,
+            "guarded_loss": self.guarded_loss,
+            "unguarded_loss": self.unguarded_loss,
+            "unguarded_raised": self.unguarded_raised,
+            "unguarded_error": self.unguarded_error,
+            "guarded_completed": self.guarded_completed,
+            "clean_sim_time": self.clean_sim_time,
+            "guarded_sim_time": self.guarded_sim_time,
+            "verdicts": dict(self.verdicts),
+            "timeline": list(self.timeline),
+            "breaker_transitions": [list(t) for t in self.breaker_transitions],
+            "breaker_trips": self.breaker_trips,
+            "breaker_recovered": self.breaker_recovered,
+            "counters": dict(self.counters),
+        }
+
+    def summary(self) -> str:
+        if self.unguarded_raised:
+            unguarded = f"raised ({self.unguarded_error})"
+        elif not math.isfinite(self.unguarded_loss):
+            unguarded = f"diverged (loss={self.unguarded_loss})"
+        else:
+            unguarded = f"loss {self.unguarded_loss:.4f}"
+        lines = [
+            f"world size         : {self.world_size}",
+            f"iterations         : {self.iterations} "
+            f"(guarded completed: {self.guarded_completed})",
+            f"clean loss         : {self.clean_loss:.4f}",
+            f"guarded loss       : {self.guarded_loss:.4f}",
+            f"unguarded          : {unguarded}",
+            f"breaker            : {self.breaker_trips} trip(s), "
+            f"recovered: {self.breaker_recovered}",
+        ]
+        if self.verdicts:
+            lines.append("verdicts:")
+            lines.extend(f"  {k:24s} {v}" for k, v in sorted(self.verdicts.items()))
+        if self.timeline:
+            lines.append("remediation timeline:")
+            for entry in self.timeline:
+                lines.append(
+                    f"  iter {entry['iteration']:>3}  "
+                    f"{entry['verdict']:<20} -> {entry['action']}"
+                )
+        if self.breaker_transitions:
+            lines.append("breaker transitions:")
+            lines.extend(
+                f"  iter {it:>3}  {frm} -> {to}"
+                for it, frm, to in self.breaker_transitions
+            )
+        return "\n".join(lines)
+
+
+def _run_once(plan, guard, *, nodes, gpus_per_node, iterations, batch_size, seed, ckpt_dir):
+    from repro import telemetry
+    from repro.core import AdaptiveCompso, StepLrSchedule
+    from repro.data import make_image_data
+    from repro.distributed import SimCluster
+    from repro.kfac_dist import DistributedKfacTrainer
+    from repro.models import resnet_proxy
+    from repro.train import ClassificationTask
+
+    data = make_image_data(300, n_classes=4, size=8, noise=1.6, seed=seed)
+    task = ClassificationTask(data)
+    cluster = SimCluster(nodes, gpus_per_node, seed=seed, fault_plan=plan)
+    model = resnet_proxy(n_classes=4, channels=8, rng=seed + 3)
+    compressor = AdaptiveCompso(StepLrSchedule(max(iterations // 3, 1)), seed=seed)
+    trainer = DistributedKfacTrainer(
+        model,
+        task,
+        cluster,
+        lr=0.05,
+        inv_update_freq=5,
+        compressor=compressor,
+        guard=guard,
+        reliable_channel=False,
+        checkpoint_dir=ckpt_dir,
+        checkpoint_every=3 if ckpt_dir is not None else 0,
+    )
+    with telemetry.session() as sess:
+        trainer.train(iterations=iterations, batch_size=batch_size, seed=seed)
+        snapshot = sess.metrics.snapshot()
+    x, y = task.batch(np.arange(task.n))
+    full_loss, _ = task.loss_and_grad(trainer.model(x), y)
+    counters = {}
+    for m in snapshot:
+        if m["type"] == "counter" and m["name"].startswith(("guard.", "faults.")):
+            labels = ",".join(f"{k}={v}" for k, v in sorted(m["labels"].items()))
+            counters[f"{m['name']}[{labels}]" if labels else m["name"]] = m["value"]
+    return {
+        "loss": float(full_loss),
+        "sim_time": cluster.time,
+        "steps_done": len(trainer.history.losses),
+        "counters": counters,
+        "trainer": trainer,
+    }
+
+
+def run_guard_scenario(
+    *,
+    nodes: int = 2,
+    gpus_per_node: int = 2,
+    iterations: int = 18,
+    batch_size: int = 32,
+    seed: int = 0,
+    corruption: float = 0.6,
+) -> GuardRunResult:
+    """Run the chaos plan guarded, unguarded, and a clean reference."""
+    world = nodes * gpus_per_node
+    kwargs = dict(
+        nodes=nodes,
+        gpus_per_node=gpus_per_node,
+        iterations=iterations,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    clean = _run_once(None, None, ckpt_dir=None, **kwargs)
+
+    guard = GuardConfig(breaker_cooldown=3, breaker_reclose_after=2)
+    with tempfile.TemporaryDirectory(prefix="guard-scenario-") as tmp:
+        plan = make_guard_plan(world, iterations, seed=seed, corruption=corruption)
+        guarded = _run_once(plan, guard, ckpt_dir=Path(tmp), **kwargs)
+
+    plan = make_guard_plan(world, iterations, seed=seed, corruption=corruption)
+    unguarded_raised = False
+    unguarded_error = ""
+    try:
+        unguarded = _run_once(plan, None, ckpt_dir=None, **kwargs)
+        unguarded_loss = unguarded["loss"]
+    except Exception as exc:  # noqa: BLE001 — the crash IS the measurement
+        unguarded_raised = True
+        unguarded_error = f"{type(exc).__name__}: {exc}"
+        unguarded_loss = float("nan")
+
+    report = guarded["trainer"].guard.report()
+    return GuardRunResult(
+        world_size=world,
+        iterations=iterations,
+        clean_loss=clean["loss"],
+        guarded_loss=guarded["loss"],
+        unguarded_loss=unguarded_loss,
+        unguarded_raised=unguarded_raised,
+        unguarded_error=unguarded_error,
+        guarded_completed=guarded["steps_done"] == iterations,
+        clean_sim_time=clean["sim_time"],
+        guarded_sim_time=guarded["sim_time"],
+        verdicts=report["verdicts"],
+        timeline=report["remediations"],
+        breaker_transitions=report["breaker"]["transitions"],
+        breaker_trips=report["breaker"]["trips"],
+        counters=guarded["counters"],
+    )

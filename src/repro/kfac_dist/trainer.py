@@ -31,6 +31,7 @@ from repro.data.loaders import batch_indices, shard
 from repro.distributed.cluster import SimCluster
 from repro.faults.plan import FailureEvent
 from repro.faults.recovery import ReliableChannel
+from repro.guard.guard import as_guard
 from repro.kfac_dist.assignment import assign_layers, eig_cost
 from repro.optim.kfac import Kfac
 from repro.telemetry import get_metrics, get_tracer
@@ -61,6 +62,8 @@ class DistributedKfacTrainer:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 0,
         runtime=None,
+        guard=None,
+        reliable_channel: bool = True,
     ):
         self.model = model
         self.task = task
@@ -97,11 +100,28 @@ class DistributedKfacTrainer:
         self.bytes_on_wire: list[float] = []
         self.bytes_original: list[float] = []
         # Fault tolerance: checksummed transfers when faults are in play,
-        # periodic checkpoints for hard-failure recovery.
-        self._channel = ReliableChannel(cluster) if cluster.faults is not None else None
+        # periodic checkpoints for hard-failure recovery.  The checksum
+        # channel can be declined (``reliable_channel=False``) to model
+        # deployments whose collectives don't verify payloads — the
+        # regime the guard subsystem is designed to survive.
+        self._channel = (
+            ReliableChannel(cluster)
+            if cluster.faults is not None and reliable_channel
+            else None
+        )
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
         self.checkpoint_every = checkpoint_every
         self._last_checkpoint: Path | None = None
+        #: Optional :class:`repro.guard.Guard` (or GuardConfig): numerical
+        #: sentinels, divergence detection, and self-healing remediation.
+        #: ``None`` (the default) is bit-identical to the unguarded trainer.
+        self.guard = as_guard(guard)
+        self._guard_grad_norm = float("nan")
+        if self.guard is not None:
+            self.guard.bind(
+                compressor=self.compressor, kfac=self.kfac, trainer=self, cluster=cluster
+            )
+            self.guard.attach_runtime(self.runtime)
 
     def _layer_dims(self, idx: int) -> tuple[int, int]:
         layer = self.kfac.layers[idx]
@@ -181,6 +201,9 @@ class DistributedKfacTrainer:
         failures = self.cluster.begin_iteration(self.t)
         if failures:
             self._recover_from_failures(failures, tracer)
+        guard = self.guard
+        if guard is not None:
+            guard.begin_step(self.t)
         world = self.cluster.world_size
         shards = self._trimmed_shards(global_idx)
         losses, per_rank_grads, per_rank_other, per_rank_factors = self._local_shard_pass(
@@ -196,7 +219,7 @@ class DistributedKfacTrainer:
             reduced = self.cluster.allreduce(
                 per_rank_grads, average=True, category="grad_allreduce"
             )
-            self._set_kfac_flat_grads(self._sanitize(reduced[0]))
+            self._set_kfac_flat_grads(self._guard_gradient(self._sanitize(reduced[0])))
             if per_rank_other[0].size:
                 other = self.cluster.allreduce(
                     per_rank_other, average=True, category="grad_allreduce"
@@ -215,11 +238,16 @@ class DistributedKfacTrainer:
         with tracer.span("eigendecomposition", "inverse", refresh=refresh):
             for i in range(len(self.kfac.layers)):
                 if refresh or not self.kfac.state[i].ready:
-                    self.kfac.compute_eigen(i)
+                    if guard is not None:
+                        guard.safe_eigen(self.kfac, i)
+                    else:
+                        self.kfac.compute_eigen(i)
 
         # Steps 4-5: owners precondition, compress, and eagerly distribute
         # each layer's result (per-layer broadcast from the owner — the
-        # KAISA communication pattern).
+        # KAISA communication pattern).  The guard's circuit breaker can
+        # force the lossless path for the whole step.
+        compressor = self.compressor if guard is None else guard.active(self.compressor)
         wire = 0.0
         original = 0.0
         precond: dict[int, np.ndarray] = {}
@@ -227,25 +255,56 @@ class DistributedKfacTrainer:
             with tracer.span("precondition", "precondition", layer=i):
                 pg = self.kfac.precondition(i)
             original += pg.nbytes
-            if self.compressor is not None and self._channel is not None:
+            owner_pg = pg
+            if compressor is not None and self._channel is not None:
                 pg, payload_bytes = self._reliable_allgather(pg, i, tracer)
-            elif self.compressor is not None:
-                ct = self.compressor.compress(pg)
+            elif compressor is not None:
+                ct = compressor.compress(pg)
                 payload_bytes = ct.nbytes
                 with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
                     received = self.cluster.broadcast(
                         ct, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
                     )[0]
-                pg = self.compressor.decompress(received)
+                pg = self._guard_decode(received, owner_pg, compressor, i)
             else:
                 payload_bytes = pg.nbytes
                 with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
                     pg = self.cluster.broadcast(
                         pg, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
                     )[0]
+                if guard is not None:
+                    pg = guard.scan(pg, what="kfac_allgather").reshape(owner_pg.shape)
             wire += payload_bytes
             precond[i] = pg
         return self._apply_and_record(losses, precond, wire, original, tracer)
+
+    # -- guard hooks -----------------------------------------------------------
+
+    def _guard_gradient(self, flat: np.ndarray) -> np.ndarray:
+        """Scan the reduced gradient and capture its norm for health checks."""
+        if self.guard is None:
+            return flat
+        flat = self.guard.scan(flat, what="grad_allreduce")
+        self._guard_grad_norm = float(np.linalg.norm(flat))
+        return flat
+
+    def _guard_decode(self, received, owner_pg: np.ndarray, compressor, layer: int):
+        """Decompress a received payload under the guard's sentinels.
+
+        Without a guard this is a plain ``decompress``.  With one, a
+        decode blow-up becomes a ``decode_failure`` verdict and the
+        layer's update is dropped (zeros); the decoded tensor is scanned
+        and checked against the active error-bound contract using the
+        owner's original — no re-compression, so no RNG is consumed.
+        """
+        if self.guard is None:
+            return compressor.decompress(received)
+        decoded = self.guard.safe_decompress(compressor, received, layer=layer)
+        if decoded is None:
+            return np.zeros_like(owner_pg)
+        decoded = self.guard.scan(decoded, what="kfac_allgather")
+        self.guard.check_contract(owner_pg, decoded, compressor, layer=layer)
+        return decoded.reshape(owner_pg.shape)
 
     def _apply_and_record(
         self,
@@ -281,6 +340,12 @@ class DistributedKfacTrainer:
             m.record_step(self.t, sim_time=self.cluster.time)
         self.t += 1
         self.kfac.t = self.t
+        if self.guard is not None:
+            # Close the guarded iteration *after* the step counter moved:
+            # a rollback remediation restores the checkpoint's counter, so
+            # the next iteration resumes the rolled-back trajectory.
+            self.guard.check_ef(self.compressor)
+            self.guard.end_step(loss=mean_loss, grad_norm=self._guard_grad_norm)
         return mean_loss
 
     # -- runtime (overlapped) execution path -----------------------------------
@@ -308,6 +373,7 @@ class DistributedKfacTrainer:
 
         rt = self.runtime
         cm = rt.compute
+        guard = self.guard
         samples = len(shards[0])
         n_params = sum(p.size for p in self.model.parameters())
         if cm is not None:
@@ -345,7 +411,7 @@ class DistributedKfacTrainer:
 
         with tracer.span("grad_wait", "comm"):
             reduced = np.concatenate([h.wait()[0] for h in grad_handles])
-            self._set_kfac_flat_grads(self._sanitize(reduced))
+            self._set_kfac_flat_grads(self._guard_gradient(self._sanitize(reduced)))
             if other_handle is not None:
                 self._set_other_flat_grad(self._sanitize(other_handle.wait()[0]))
         for i in range(len(self.kfac.layers)):
@@ -355,7 +421,10 @@ class DistributedKfacTrainer:
         with tracer.span("eigendecomposition", "inverse", refresh=refresh):
             for i in range(len(self.kfac.layers)):
                 if refresh or not self.kfac.state[i].ready:
-                    self.kfac.compute_eigen(i)
+                    if guard is not None:
+                        guard.safe_eigen(self.kfac, i)
+                    else:
+                        self.kfac.compute_eigen(i)
                     if cm is not None:
                         in_f, out_f = self._layer_dims(i)
                         self.cluster.advance_rank(
@@ -367,9 +436,11 @@ class DistributedKfacTrainer:
         # Steps 4-5 overlapped: layer i's broadcast is in flight while the
         # owner of layer i+1 preconditions (KAISA's cross-layer overlap,
         # scheduled instead of assumed).
+        compressor = self.compressor if guard is None else guard.active(self.compressor)
         wire = 0.0
         original = 0.0
         precond: dict[int, np.ndarray] = {}
+        originals: dict[int, np.ndarray] = {}
         bcast_handles: dict[int, tuple] = {}
         for i in range(len(self.kfac.layers)):
             with tracer.span("precondition", "precondition", layer=i):
@@ -381,14 +452,15 @@ class DistributedKfacTrainer:
                     "kfac_compute",
                 )
             original += pg.nbytes
-            if self.compressor is not None and self._channel is not None:
+            originals[i] = pg
+            if compressor is not None and self._channel is not None:
                 # The checksum/retry protocol is barrier-synchronous even
                 # under the runtime: retries must settle before the next
                 # transfer can be priced, so this transfer stays blocking.
                 pg, payload_bytes = self._reliable_allgather(pg, i, tracer)
                 precond[i] = pg
-            elif self.compressor is not None:
-                ct = self.compressor.compress(pg)
+            elif compressor is not None:
+                ct = compressor.compress(pg)
                 payload_bytes = ct.nbytes
                 with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
                     bcast_handles[i] = (
@@ -416,7 +488,14 @@ class DistributedKfacTrainer:
         with tracer.span("allgather_wait", "comm"):
             for i, (handle, compressed) in bcast_handles.items():
                 got = handle.wait()[0]
-                precond[i] = self.compressor.decompress(got) if compressed else got
+                if compressed:
+                    precond[i] = self._guard_decode(got, originals[i], compressor, i)
+                elif guard is not None:
+                    precond[i] = guard.scan(got, what="kfac_allgather").reshape(
+                        originals[i].shape
+                    )
+                else:
+                    precond[i] = got
         rt.assert_quiesced()
         return self._apply_and_record(losses, precond, wire, original, tracer)
 
@@ -573,7 +652,13 @@ class DistributedKfacTrainer:
     def save_state(self, path: str | Path) -> Path:
         """Atomic full-state checkpoint (model, K-FAC, compressor)."""
         path = Path(path)
-        save_checkpoint(path, self.model, self.kfac, compressor=self.compressor)
+        save_checkpoint(
+            path,
+            self.model,
+            self.kfac,
+            compressor=self.compressor,
+            world_size=self.cluster.world_size,
+        )
         self._last_checkpoint = path
         return path
 

@@ -1,8 +1,19 @@
 """Optimizers and learning-rate schedules."""
 
-from repro.optim.kfac import Kfac, LayerFactors
+from repro.optim.kfac import FactorNumericsError, Kfac, LayerFactors
 from repro.optim.schedulers import ConstantLr, SmoothLr, StepLr
 from repro.optim.sgd import Adam, Lamb, Sgd
 from repro.optim.shampoo import Shampoo
 
-__all__ = ["Sgd", "Adam", "Lamb", "Shampoo", "Kfac", "LayerFactors", "StepLr", "SmoothLr", "ConstantLr"]
+__all__ = [
+    "Sgd",
+    "Adam",
+    "Lamb",
+    "Shampoo",
+    "FactorNumericsError",
+    "Kfac",
+    "LayerFactors",
+    "StepLr",
+    "SmoothLr",
+    "ConstantLr",
+]

@@ -30,7 +30,24 @@ import numpy as np
 
 from repro.nn.module import KfacLayerMixin, Module, Parameter
 
-__all__ = ["Kfac", "LayerFactors"]
+__all__ = ["FactorNumericsError", "Kfac", "LayerFactors"]
+
+
+class FactorNumericsError(RuntimeError):
+    """A layer's Kronecker factors cannot be eigendecomposed.
+
+    Raised when ``np.linalg.eigh`` fails to converge on a factor or
+    produces non-finite eigenvalues — both symptoms of a poisoned factor
+    (NaN/Inf statistics, corrupted allreduce payload, catastrophic loss
+    of symmetry).  Carries the layer index so callers (and the guard's
+    escalating-damping retry) can name the culprit instead of surfacing
+    a bare numpy error mid-training.
+    """
+
+    def __init__(self, layer: int, reason: str):
+        super().__init__(f"K-FAC factor numerics failure on layer {layer}: {reason}")
+        self.layer = layer
+        self.reason = reason
 
 
 @dataclass
@@ -126,12 +143,24 @@ class Kfac:
     # -- stage 2: eigendecomposition -------------------------------------------
 
     def compute_eigen(self, idx: int) -> None:
-        """Eigendecompose the running factors of layer ``idx``."""
+        """Eigendecompose the running factors of layer ``idx``.
+
+        Raises :class:`FactorNumericsError` (naming the layer) when the
+        decomposition fails to converge or yields non-finite eigenvalues,
+        instead of propagating a bare ``np.linalg.LinAlgError``.
+        """
         st = self.state[idx]
         if st.A is None or st.G is None:
             raise RuntimeError(f"factors for layer {idx} not accumulated yet")
-        st.vA, st.QA = np.linalg.eigh(st.A)
-        st.vG, st.QG = np.linalg.eigh(st.G)
+        try:
+            vA, QA = np.linalg.eigh(st.A)
+            vG, QG = np.linalg.eigh(st.G)
+        except np.linalg.LinAlgError as exc:
+            raise FactorNumericsError(idx, f"eigh did not converge ({exc})") from exc
+        if not (np.isfinite(vA).all() and np.isfinite(vG).all()):
+            raise FactorNumericsError(idx, "non-finite eigenvalues")
+        st.vA, st.QA = vA, QA
+        st.vG, st.QG = vG, QG
         np.clip(st.vA, 0.0, None, out=st.vA)
         np.clip(st.vG, 0.0, None, out=st.vG)
 

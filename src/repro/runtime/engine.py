@@ -170,6 +170,11 @@ class StreamRuntime:
         self.n_comm_streams = int(n_comm_streams)
         self.compute = compute
         self.bucket_bytes = int(bucket_bytes)
+        #: Optional deadline/retry policy (duck-typed; see
+        #: :class:`repro.guard.watchdog.CollectiveWatchdog`).  Consulted
+        #: only when a waited handle drew fault extras, so ``None`` and
+        #: an idle watchdog are both bit-identical to the base runtime.
+        self.watchdog = None
         #: (rank id, stream index >= 1) -> busy-until time.
         self._busy: dict[tuple[int, int], float] = {}
         #: Per-rank queues of posted-but-unmatched collective signatures.
@@ -288,6 +293,8 @@ class StreamRuntime:
             extras = cluster.faults.collective_extras(
                 handle.op, handle.seconds, [r.rank for r in cluster.ranks]
             )
+            if self.watchdog is not None and extras:
+                extras = self.watchdog.review(self, handle, extras)
         tracer = get_tracer()
         world = max(len(cluster.ranks), 1)
         for r in cluster.ranks:

@@ -90,6 +90,7 @@ class DistributedSgdTrainer:
         compressor: GradientCompressor | None = None,
         ef_residual_guard: float | None = None,
         runtime=None,
+        guard=None,
     ):
         self.model = model
         self.task = task
@@ -110,6 +111,15 @@ class DistributedSgdTrainer:
         self.ef_residual_guard = ef_residual_guard
         self.t = 0
         self.history = TrainHistory()
+        #: Optional :class:`repro.guard.Guard` (or GuardConfig): payload
+        #: sentinels, divergence detection, and the compression circuit
+        #: breaker.  ``None`` (the default) is bit-identical to before.
+        from repro.guard.guard import as_guard
+
+        self.guard = as_guard(guard)
+        if self.guard is not None:
+            self.guard.bind(compressor=compressor, trainer=self, cluster=cluster)
+            self.guard.attach_runtime(runtime)
 
     def _flat_grad(self) -> np.ndarray:
         return np.concatenate([p.grad.ravel() for p in self.model.parameters()])
@@ -158,6 +168,8 @@ class DistributedSgdTrainer:
         """Per-shard forward/backward; returns (losses, per-rank grads)."""
         per_rank_grads: list[np.ndarray] = []
         losses: list[float] = []
+        guard = self.guard
+        compressor = self.compressor if guard is None else guard.active(self.compressor)
         for r, idx in enumerate(shards):
             self.model.zero_grad()
             x, y = self.task.batch(idx)
@@ -167,10 +179,15 @@ class DistributedSgdTrainer:
             with tracer.span("backward", "backward", shard=r):
                 self.model.backward(dl)
             g = self._flat_grad()
-            if self.compressor is not None:
-                ct = self.compressor.compress(g)
+            if compressor is not None:
+                ct = compressor.compress(g)
                 self.history.compression_ratios.append(g.nbytes / ct.nbytes)
-                g = self.compressor.decompress(ct).ravel()
+                decoded = compressor.decompress(ct).ravel()
+                if guard is not None and r == 0:
+                    # One shard per step is enough to catch a broken
+                    # channel; the contract never consumes randomness.
+                    guard.check_contract(g, decoded, compressor, layer=r)
+                g = decoded
             per_rank_grads.append(g)
             losses.append(loss)
         return losses, per_rank_grads
@@ -189,6 +206,9 @@ class DistributedSgdTrainer:
             m = get_metrics()
             if m.enabled:
                 m.counter("faults.recovered", kind="rank_failure").inc(len(failures))
+        guard = self.guard
+        if guard is not None:
+            guard.begin_step(self.t)
         shards = self._trimmed_shards(global_idx)
         losses, per_rank_grads = self._local_grads(shards, tracer)
         if self.runtime is not None:
@@ -199,8 +219,15 @@ class DistributedSgdTrainer:
                     per_rank_grads, average=True, category="grad_allreduce"
                 )
             reduced0 = reduced[0]
-        self._set_flat_grad(self._sanitize(reduced0))
+        reduced0 = self._sanitize(reduced0)
+        grad_norm = float("nan")
+        if guard is not None:
+            reduced0 = guard.scan(reduced0, what="grad_allreduce")
+            grad_norm = float(np.linalg.norm(reduced0))
+        self._set_flat_grad(reduced0)
         self._check_ef_residual()
+        if guard is not None:
+            guard.check_ef(self.compressor)
         if self.lr_schedule is not None:
             self.optimizer.lr = self.lr_schedule.lr_at(self.t)
         with tracer.span("apply_update", "update"):
@@ -214,6 +241,8 @@ class DistributedSgdTrainer:
             m.counter("train.steps").inc()
             m.record_step(self.t, sim_time=self.cluster.time)
         self.t += 1
+        if guard is not None:
+            guard.end_step(loss=mean_loss, grad_norm=grad_norm)
         return mean_loss
 
     def _bucketed_allreduce(

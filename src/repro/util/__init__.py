@@ -11,7 +11,12 @@ from repro.util.bitpack import (
     unpack_uints,
 )
 from repro.util.charts import bar_chart, stacked_bars
-from repro.util.checkpoint import load_checkpoint, save_checkpoint
+from repro.util.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.util.seeding import spawn_rng
 from repro.util.tables import format_table
 
@@ -21,6 +26,8 @@ __all__ = [
     "pack_uints",
     "unpack_uints",
     "spawn_rng",
+    "CheckpointError",
+    "SCHEMA_VERSION",
     "save_checkpoint",
     "load_checkpoint",
     "format_table",

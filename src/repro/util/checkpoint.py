@@ -24,13 +24,30 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.nn.module import Module
-from repro.optim.kfac import Kfac
+if TYPE_CHECKING:  # pragma: no cover — annotations only, avoids an
+    # import cycle now that repro.util re-exports this module's names
+    from repro.nn.module import Module
+    from repro.optim.kfac import Kfac
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["CheckpointError", "SCHEMA_VERSION", "save_checkpoint", "load_checkpoint"]
+
+#: Archive layout version.  Version 1 is the pre-versioned layout (no
+#: ``meta/*`` keys); version 2 added ``meta/schema_version`` and
+#: ``meta/world_size``.  Bump on any incompatible key change.
+SCHEMA_VERSION = 2
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint archive cannot be restored into this process.
+
+    Raised *before* any state is mutated — schema or world-size
+    mismatches must fail the restore loudly up front, not as a cryptic
+    ``KeyError`` halfway through repopulating optimizer state.
+    """
 
 
 def _final_path(path: str | Path) -> Path:
@@ -122,9 +139,17 @@ def save_checkpoint(
     *,
     optimizer=None,
     compressor=None,
+    world_size: int | None = None,
 ) -> None:
-    """Atomically write model (+ optional K-FAC/optimizer/compressor) state."""
-    arrays: dict[str, np.ndarray] = {}
+    """Atomically write model (+ optional K-FAC/optimizer/compressor) state.
+
+    ``world_size`` stamps the archive with the cluster size it was taken
+    at; restores can then reject a checkpoint from a differently-sized
+    world (layer-ownership tables and per-rank state are world-indexed).
+    """
+    arrays: dict[str, np.ndarray] = {"meta/schema_version": np.array(SCHEMA_VERSION)}
+    if world_size is not None:
+        arrays["meta/world_size"] = np.array(int(world_size))
     for name, p in model.named_parameters():
         arrays[f"param/{name}"] = p.data
     if kfac is not None:
@@ -165,15 +190,40 @@ def load_checkpoint(
     *,
     optimizer=None,
     compressor=None,
+    expect_world_size: int | None = None,
 ) -> None:
     """Restore state written by :func:`save_checkpoint` in place.
 
-    Raises ``KeyError`` if the checkpoint is missing a parameter the
-    model has, and ``ValueError`` on shape mismatches — silent partial
-    restores are worse than failing loudly.  Optimizer/compressor keys
-    are optional so pre-existing checkpoints keep loading.
+    Raises :class:`CheckpointError` — before touching any state — when
+    the archive's schema version is not one this build understands, or
+    when ``expect_world_size`` is given and disagrees with the recorded
+    world size.  Raises ``KeyError`` if the checkpoint is missing a
+    parameter the model has, and ``ValueError`` on shape mismatches —
+    silent partial restores are worse than failing loudly.  Archives
+    without ``meta/*`` keys (schema version 1) keep loading; optimizer/
+    compressor keys are likewise optional.
     """
     with np.load(_final_path(path)) as data:
+        version = int(data["meta/schema_version"]) if "meta/schema_version" in data else 1
+        if version > SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint schema version {version} is newer than this build's "
+                f"{SCHEMA_VERSION}; refusing a partial restore"
+            )
+        if expect_world_size is not None:
+            stored_world = (
+                int(data["meta/world_size"]) if "meta/world_size" in data else None
+            )
+            if stored_world is None:
+                raise CheckpointError(
+                    f"checkpoint records no world size (schema version {version}) "
+                    f"but the caller requires world_size={expect_world_size}"
+                )
+            if stored_world != expect_world_size:
+                raise CheckpointError(
+                    f"checkpoint was taken at world_size={stored_world}, "
+                    f"cannot restore into world_size={expect_world_size}"
+                )
         for name, p in model.named_parameters():
             key = f"param/{name}"
             if key not in data:

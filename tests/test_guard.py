@@ -1,0 +1,566 @@
+"""repro.guard: sentinels, divergence detection, policy engine, watchdog."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import AdaptiveCompso, CompsoCompressor, StepLrSchedule
+from repro.core.adaptive import Bounds
+from repro.data import make_image_data
+from repro.distributed import SimCluster
+from repro.faults.plan import FaultPlan
+from repro.guard import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    CollectiveWatchdog,
+    DivergenceDetector,
+    Guard,
+    GuardConfig,
+    PolicyEngine,
+    WatchdogTimeoutError,
+    contract_error,
+    factor_health,
+    scan_tensor,
+)
+from repro.guard.policy import GuardContext
+from repro.guard.sentinels import safe_eigen
+from repro.kfac_dist import DistributedKfacTrainer
+from repro.models import resnet_proxy
+from repro.optim import FactorNumericsError, Sgd
+from repro.optim.kfac import Kfac
+from repro.runtime import StreamRuntime
+from repro.telemetry.export import chrome_trace
+from repro.train import ClassificationTask, DistributedSgdTrainer
+
+
+def _params(model) -> np.ndarray:
+    return np.concatenate([p.data.ravel() for p in model.parameters()])
+
+
+def _kfac_trainer(seed=0, *, guard=None, plan=None, reliable_channel=True, **kw):
+    data = make_image_data(200, n_classes=4, size=8, noise=1.6, seed=seed)
+    task = ClassificationTask(data)
+    cluster = SimCluster(2, 2, seed=seed, fault_plan=plan)
+    model = resnet_proxy(n_classes=4, channels=8, rng=seed + 3)
+    compressor = AdaptiveCompso(StepLrSchedule(4), seed=seed)
+    return DistributedKfacTrainer(
+        model,
+        task,
+        cluster,
+        lr=0.05,
+        inv_update_freq=5,
+        compressor=compressor,
+        guard=guard,
+        reliable_channel=reliable_channel,
+        **kw,
+    )
+
+
+# -- sentinels ----------------------------------------------------------------
+
+
+class TestScanTensor:
+    def test_clean_tensor_returned_untouched(self):
+        x = np.arange(8, dtype=np.float32)
+        result = scan_tensor(x)
+        assert result.clean
+        assert result.values is x  # no copy on the healthy path
+
+    def test_nonfinite_scrubbed(self):
+        x = np.array([1.0, np.nan, -np.inf, 2.0], dtype=np.float32)
+        result = scan_tensor(x)
+        assert not result.clean
+        assert result.n_nonfinite == 2
+        assert np.array_equal(result.values, [1.0, 0.0, 0.0, 2.0])
+        assert np.isnan(x[1])  # original untouched
+
+    def test_oversized_scrubbed(self):
+        """A finite-but-absurd value (exponent bit flip) is caught too."""
+        x = np.array([1.0, 1e30, -2.0], dtype=np.float32)
+        result = scan_tensor(x, abs_limit=1e6)
+        assert result.n_oversized == 1 and result.n_nonfinite == 0
+        assert np.array_equal(result.values, [1.0, 0.0, -2.0])
+
+
+class TestContract:
+    def test_contract_held_returns_none(self):
+        comp = CompsoCompressor(4e-3, 4e-3, seed=0)
+        x = np.random.default_rng(0).standard_normal(4096).astype(np.float32)
+        decoded = comp.decompress(comp.compress(x))
+        assert contract_error(x, decoded, comp) is None
+
+    def test_violation_reports_ratio(self):
+        comp = CompsoCompressor(1e-4, 1e-4, seed=0)
+        x = np.ones(64, dtype=np.float32)
+        garbage = x + 0.5  # way past (eb_f+eb_q)*max|x|
+        ratio = contract_error(x, garbage, comp)
+        assert ratio is not None and ratio > 100
+
+    def test_unknown_compressor_is_unknowable(self):
+        assert contract_error(np.ones(4), np.ones(4), object()) is None
+
+
+class TestFactorHealth:
+    def test_healthy_factor_passes(self):
+        a = np.eye(4) + 0.01
+        assert factor_health(a) is None
+
+    def test_nonfinite_and_asymmetry_detected(self):
+        bad = np.eye(4)
+        bad[0, 0] = np.nan
+        assert "non-finite" in factor_health(bad)
+        asym = np.eye(4)
+        asym[0, 1] = 5.0
+        assert "asymmetry" in factor_health(asym)
+
+
+class TestSafeEigen:
+    def _kfac(self, seed=0):
+        tr = _kfac_trainer(seed)
+        tr.train(iterations=1, batch_size=16, seed=seed)
+        return tr.kfac
+
+    def test_healthy_path_is_single_eigen_call(self):
+        kfac = self._kfac()
+        a_before = kfac.state[0].A.copy()
+        assert safe_eigen(kfac, 0) == 0
+        assert np.array_equal(kfac.state[0].A, a_before)  # no repair touched it
+
+    def test_poisoned_factor_recovers_with_retries(self):
+        kfac = self._kfac()
+        kfac.state[0].A[0, 0] = np.nan
+        attempts = safe_eigen(kfac, 0)
+        assert attempts >= 1
+        assert np.isfinite(kfac.state[0].vA).all()
+
+    def test_factor_numerics_error_names_layer(self):
+        """Satellite: compute_eigen raises a typed error on a poisoned factor."""
+        kfac = self._kfac()
+        kfac.state[2].A[:] = np.nan
+        with pytest.raises(FactorNumericsError) as ei:
+            kfac.compute_eigen(2)
+        assert ei.value.layer == 2
+        assert "layer 2" in str(ei.value)
+
+
+# -- divergence detector ------------------------------------------------------
+
+
+class TestDivergenceDetector:
+    def test_nan_loss_is_immediate(self):
+        det = DivergenceDetector()
+        report = det.observe(0, float("nan"), 1.0)
+        assert report.verdicts == ["loss_nan"]
+
+    def test_loss_spike_after_warmup(self):
+        det = DivergenceDetector(warmup=3, spike_factor=3.0)
+        for t in range(4):
+            assert det.observe(t, 1.0, 1.0).ok
+        report = det.observe(4, 10.0, 1.0)
+        assert "loss_spike" in report.verdicts
+
+    def test_no_spike_during_warmup(self):
+        det = DivergenceDetector(warmup=3)
+        assert det.observe(0, 1.0, 1.0).ok
+        assert det.observe(1, 100.0, 1.0).ok  # not enough baseline yet
+
+    def test_grad_spike(self):
+        det = DivergenceDetector(warmup=2, grad_spike_factor=10.0)
+        for t in range(3):
+            det.observe(t, 1.0, 1.0)
+        assert "grad_spike" in det.observe(3, 1.0, 50.0).verdicts
+
+    def test_spikes_do_not_ratchet_baseline(self):
+        """A divergence burst must not normalise itself into the median."""
+        det = DivergenceDetector(warmup=3, spike_factor=3.0)
+        for t in range(4):
+            det.observe(t, 1.0, 1.0)
+        for t in range(4, 8):
+            assert "loss_spike" in det.observe(t, 10.0, 1.0).verdicts
+
+    def test_plateau(self):
+        det = DivergenceDetector(plateau_window=3, plateau_tol=1e-3)
+        for t in range(10):
+            report = det.observe(t, 1.0, 1.0)
+        assert "plateau" in report.verdicts
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_full_cycle_closed_open_halfopen_closed(self):
+        b = CircuitBreaker(cooldown=2, reclose_after=2)
+        assert b.state == BREAKER_CLOSED and b.allows_compression
+        assert b.trip(3)
+        assert b.state == BREAKER_OPEN and not b.allows_compression
+        b.end_iteration(4, clean=True)
+        assert b.state == BREAKER_OPEN  # cooldown not elapsed
+        b.end_iteration(5, clean=True)
+        assert b.state == BREAKER_HALF_OPEN and b.allows_compression
+        b.end_iteration(6, clean=True)
+        assert b.state == BREAKER_HALF_OPEN  # one good, needs two
+        b.end_iteration(7, clean=True)
+        assert b.state == BREAKER_CLOSED
+        assert b.transitions == [
+            (3, "closed", "open"),
+            (5, "open", "half_open"),
+            (7, "half_open", "closed"),
+        ]
+
+    def test_dirty_halfopen_reopens(self):
+        b = CircuitBreaker(cooldown=1, reclose_after=1)
+        b.trip(0)
+        b.end_iteration(1, clean=True)
+        assert b.state == BREAKER_HALF_OPEN
+        b.end_iteration(2, clean=False)
+        assert b.state == BREAKER_OPEN
+        assert b.trips == 2
+
+    def test_trip_while_open_rearms_cooldown(self):
+        b = CircuitBreaker(cooldown=2, reclose_after=1)
+        assert b.trip(0)
+        b.end_iteration(1, clean=True)
+        assert not b.trip(2)  # already open: not a new trip
+        b.end_iteration(3, clean=True)
+        assert b.state == BREAKER_OPEN  # cooldown was re-armed
+        assert b.trips == 1
+
+
+# -- policy engine ------------------------------------------------------------
+
+
+class _StubTrainer:
+    def __init__(self):
+        self._last_checkpoint = "ckpt.npz"
+        self.restored = []
+
+    def restore_state(self, path):
+        self.restored.append(path)
+
+
+class TestPolicyEngine:
+    def test_escalates_down_the_rule_list(self):
+        """Recurring verdicts escalate: tighten, then trip the breaker."""
+        engine = PolicyEngine(CircuitBreaker(), action_cooldown=5)
+        comp = AdaptiveCompso(StepLrSchedule(4), seed=0)
+        ctx = GuardContext(compressor=comp)
+        first = engine.handle("contract_violation", {}, ctx, 10)
+        assert first.action == "tighten_bounds"
+        second = engine.handle("contract_violation", {}, ctx, 11)
+        assert second.action == "trip_breaker"
+        assert engine.breaker.state == BREAKER_OPEN
+
+    def test_unavailable_handles_are_skipped(self):
+        engine = PolicyEngine(CircuitBreaker())
+        action = engine.handle("contract_violation", {}, GuardContext(), 0)
+        assert action is None  # no compressor: nothing applicable
+        assert engine.timeline == []
+
+    def test_rollback_restores_latest_checkpoint(self):
+        engine = PolicyEngine(CircuitBreaker())
+        trainer = _StubTrainer()
+        action = engine.handle("loss_nan", {}, GuardContext(trainer=trainer), 7)
+        assert action.action == "rollback"
+        assert trainer.restored == ["ckpt.npz"]
+
+    def test_damping_escalation_is_capped(self):
+        engine = PolicyEngine(
+            CircuitBreaker(), damping_factor=10.0, damping_cap_factor=100.0,
+            action_cooldown=1,
+        )
+        kfac = type("K", (), {"damping": 1e-2})()
+        ctx = GuardContext(kfac=kfac)
+        for it in range(5):
+            engine.handle("eigh_retry", {}, ctx, it)
+        assert kfac.damping == pytest.approx(1.0)  # 1e-2 * cap 100
+
+
+# -- watchdog -----------------------------------------------------------------
+
+
+class _StubFaults:
+    def __init__(self, stalls):
+        self.stalls = list(stalls)
+
+    def collective_extras(self, op, seconds, ranks):
+        stall = self.stalls.pop(0) if self.stalls else 0.0
+        return {ranks[0]: stall} if stall else {}
+
+
+class _StubRank:
+    def __init__(self, rank):
+        self.rank = rank
+
+
+class _StubCluster:
+    def __init__(self, stalls):
+        self.faults = _StubFaults(stalls)
+        self.ranks = [_StubRank(0), _StubRank(1)]
+        self.time = 0.0
+        self.backoffs = []
+
+    def advance_all(self, seconds, category):
+        self.backoffs.append((seconds, category))
+        self.time += seconds
+
+
+class _StubRuntime:
+    def __init__(self, stalls):
+        self.cluster = _StubCluster(stalls)
+
+    def pending_report(self):
+        return "  rank 0: posted=[-] awaiting-wait=[#1 allreduce (grad, 10.0us)]"
+
+
+class _StubHandle:
+    op = "allreduce"
+    seconds = 1e-5
+    seq = 1
+
+    def describe(self):
+        return "#1 allreduce (grad, 10.0us)"
+
+
+class TestWatchdog:
+    def test_within_deadline_passes_through(self):
+        wd = CollectiveWatchdog(deadline_seconds=1.0)
+        rt = _StubRuntime([])
+        extras = {0: 1e-6}
+        assert wd.review(rt, _StubHandle(), extras) is extras
+        assert wd.retries == 0
+
+    def test_retry_clears_transient_stall(self):
+        """First draw stalls past the deadline; the re-issue is clean."""
+        wd = CollectiveWatchdog(deadline_seconds=1e-4, max_retries=2)
+        rt = _StubRuntime(stalls=[0.0])  # the redraw after backoff: clean
+        out = wd.review(rt, _StubHandle(), {0: 1.0})
+        assert out == {}
+        assert wd.retries == 1 and wd.timeouts == 0
+        assert rt.cluster.backoffs[0][1] == "watchdog_backoff"
+
+    def test_exhausted_retries_raise_with_report(self):
+        wd = CollectiveWatchdog(deadline_seconds=1e-4, max_retries=2)
+        rt = _StubRuntime(stalls=[1.0, 1.0])  # every redraw stalls again
+        with pytest.raises(WatchdogTimeoutError) as ei:
+            wd.review(rt, _StubHandle(), {0: 1.0})
+        msg = str(ei.value)
+        assert "deadline" in msg and "rank 0" in msg and "awaiting-wait" in msg
+        assert ei.value.report  # the per-rank dump rides on the exception
+        assert wd.timeouts == 1
+
+    def test_streamruntime_integration_deterministic_straggler(self):
+        """A deterministic straggler re-stalls every retry -> timeout."""
+        plan = FaultPlan(seed=0)
+        plan.add_straggler(1, start=0, slowdown=50.0)
+        plan.validate(4)
+        cluster = SimCluster(1, 4, seed=0, fault_plan=plan)
+        cluster.begin_iteration(0)
+        rt = StreamRuntime(cluster, overlap=True)
+        rt.watchdog = CollectiveWatchdog(deadline_seconds=1e-9, max_retries=1)
+        rng = np.random.default_rng(0)
+        h = rt.iallreduce(
+            [rng.standard_normal(1 << 12).astype(np.float32) for _ in range(4)],
+            average=True,
+        )
+        with pytest.raises(WatchdogTimeoutError) as ei:
+            h.wait()
+        assert "rank" in str(ei.value)
+
+    def test_guard_config_installs_watchdog_on_runtime(self):
+        cluster = SimCluster(1, 2, seed=0)
+        rt = StreamRuntime(cluster, overlap=True)
+        guard = GuardConfig(watchdog_deadline=1e-3).build()
+        guard.attach_runtime(rt)
+        assert isinstance(rt.watchdog, CollectiveWatchdog)
+        assert rt.watchdog.deadline_seconds == 1e-3
+
+
+# -- guard facade + trainer integration ---------------------------------------
+
+
+class TestGuardedTraining:
+    def test_guarded_healthy_run_is_bit_identical(self):
+        base = _kfac_trainer(seed=0)
+        base.train(iterations=6, batch_size=32, seed=0)
+        guarded = _kfac_trainer(seed=0, guard=GuardConfig())
+        guarded.train(iterations=6, batch_size=32, seed=0)
+        assert np.array_equal(_params(base.model), _params(guarded.model))
+        assert guarded.guard.report()["verdicts"] == {}
+
+    def test_corruption_trips_breaker_and_run_survives(self, tmp_path):
+        plan = FaultPlan(seed=0)
+        plan.add_corruption(0.7, start=2, stop=6, n_bits=4, ops=("broadcast",))
+        plan.validate(4)
+        guard = GuardConfig(breaker_cooldown=2, breaker_reclose_after=1)
+        tr = _kfac_trainer(
+            seed=0,
+            guard=guard,
+            plan=plan,
+            reliable_channel=False,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=2,
+        )
+        tr.train(iterations=10, batch_size=32, seed=0)
+        report = tr.guard.report()
+        assert np.isfinite(tr.history.losses[-1])
+        assert np.isfinite(_params(tr.model)).all()
+        assert report["breaker"]["trips"] >= 1
+        assert report["verdicts"]  # at least one sentinel fired
+        assert any(
+            frm == "half_open" and to == "closed"
+            for _, frm, to in report["breaker"]["transitions"]
+        ), "breaker must re-close after the corruption window"
+
+    def test_guard_events_reconcile_with_chrome_trace(self, tmp_path):
+        plan = FaultPlan(seed=0)
+        plan.add_corruption(0.7, start=2, stop=6, n_bits=4, ops=("broadcast",))
+        plan.validate(4)
+        tr = _kfac_trainer(
+            seed=0, guard=GuardConfig(), plan=plan, reliable_channel=False
+        )
+        with telemetry.session() as sess:
+            tr.train(iterations=8, batch_size=32, seed=0)
+            remediations = [
+                s for s in sess.tracer.spans() if s.name.startswith("remediate:")
+            ]
+            verdict_spans = [
+                s for s in sess.tracer.spans() if s.name.startswith("verdict:")
+            ]
+            snapshot = sess.metrics.snapshot()
+            doc = chrome_trace(sess.tracer)
+        assert len(remediations) == len(tr.guard.timeline)
+        total_verdicts = sum(tr.guard.verdict_counts.values())
+        assert len(verdict_spans) == total_verdicts
+        counted = sum(
+            m["value"]
+            for m in snapshot
+            if m["type"] == "counter" and m["name"] == "guard.remediations"
+        )
+        assert counted == len(tr.guard.timeline)
+        trace_names = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "X"}
+        for action in tr.guard.timeline:
+            assert f"remediate:{action.action}" in trace_names
+
+    def test_sgd_trainer_scrubs_corrupt_gradient(self):
+        plan = FaultPlan(seed=0)
+        plan.add_corruption(1.0, start=1, stop=3, n_bits=4, ops=("allgather",))
+        plan.validate(2)
+        data = make_image_data(120, n_classes=3, size=8, noise=1.0, seed=0)
+        task = ClassificationTask(data)
+        cluster = SimCluster(1, 2, seed=0, fault_plan=plan)
+        model = resnet_proxy(n_classes=3, channels=8, rng=1)
+        tr = DistributedSgdTrainer(
+            model, task, Sgd(model.parameters(), lr=0.05), cluster,
+            guard=GuardConfig(),
+        )
+        tr.train(iterations=5, batch_size=16, seed=0)
+        assert np.isfinite(tr.history.losses[-1])
+        assert np.isfinite(_params(model)).all()
+
+    def test_sgd_guarded_healthy_bit_identical(self):
+        def run(guard):
+            data = make_image_data(120, n_classes=3, size=8, noise=1.0, seed=0)
+            task = ClassificationTask(data)
+            cluster = SimCluster(1, 2, seed=0)
+            model = resnet_proxy(n_classes=3, channels=8, rng=1)
+            comp = CompsoCompressor(4e-3, 4e-3, seed=0)
+            tr = DistributedSgdTrainer(
+                model, task, Sgd(model.parameters(), lr=0.05), cluster,
+                compressor=comp, guard=guard,
+            )
+            tr.train(iterations=5, batch_size=16, seed=0)
+            return _params(model)
+
+        assert np.array_equal(run(None), run(GuardConfig()))
+
+    def test_rollback_on_nan_loss(self, tmp_path):
+        guard = Guard(GuardConfig())
+        trainer = _StubTrainer()
+        guard.bind(trainer=trainer)
+        guard.begin_step(5)
+        guard.end_step(loss=float("nan"), grad_norm=1.0)
+        assert trainer.restored == ["ckpt.npz"]
+        assert guard.timeline[0].action == "rollback"
+        assert guard.timeline[0].verdict == "loss_nan"
+
+
+# -- satellites ---------------------------------------------------------------
+
+
+class TestBoundsValidation:
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError, match="eb_f"):
+            Bounds(-1e-3, 1e-3)
+        with pytest.raises(ValueError, match="eb_q"):
+            Bounds(1e-3, -1e-3)
+
+    def test_zero_filter_bound_still_valid(self):
+        b = Bounds(0.0, 1e-3)
+        assert b.eb_f == 0.0
+
+
+class TestCheckpointSchema:
+    def _save(self, tmp_path, **kw):
+        model = resnet_proxy(n_classes=4, channels=8, rng=0)
+        from repro.util.checkpoint import save_checkpoint
+
+        save_checkpoint(tmp_path / "c", model, **kw)
+        return model
+
+    def test_world_size_round_trip(self, tmp_path):
+        from repro.util.checkpoint import load_checkpoint
+
+        model = self._save(tmp_path, world_size=4)
+        load_checkpoint(tmp_path / "c", model, expect_world_size=4)  # accepts
+
+    def test_world_size_mismatch_rejected(self, tmp_path):
+        from repro.util.checkpoint import CheckpointError, load_checkpoint
+
+        model = self._save(tmp_path, world_size=4)
+        with pytest.raises(CheckpointError, match="world_size=4"):
+            load_checkpoint(tmp_path / "c", model, expect_world_size=8)
+
+    def test_legacy_archive_without_world_size_rejected_when_required(self, tmp_path):
+        from repro.util.checkpoint import CheckpointError, load_checkpoint
+
+        model = self._save(tmp_path)  # no world_size stamped
+        with pytest.raises(CheckpointError, match="records no world size"):
+            load_checkpoint(tmp_path / "c", model, expect_world_size=4)
+
+    def test_newer_schema_version_rejected(self, tmp_path):
+        from repro.util.checkpoint import CheckpointError, load_checkpoint
+
+        model = self._save(tmp_path)
+        arrays = dict(np.load(tmp_path / "c.npz"))
+        arrays["meta/schema_version"] = np.array(99)
+        np.savez_compressed(tmp_path / "future.npz", **arrays)
+        with pytest.raises(CheckpointError, match="schema version 99"):
+            load_checkpoint(tmp_path / "future.npz", model)
+
+    def test_mutation_free_rejection(self, tmp_path):
+        """A rejected restore must not have touched the model."""
+        from repro.util.checkpoint import CheckpointError, load_checkpoint
+
+        model = self._save(tmp_path, world_size=4)
+        before = _params(model).copy()
+        for p in model.parameters():
+            p.data = p.data + 1.0
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "c", model, expect_world_size=2)
+        assert np.array_equal(_params(model), before + 1.0)  # untouched by the failed load
+
+
+class TestScenario:
+    def test_guard_scenario_smoke(self):
+        from repro.guard.scenario import run_guard_scenario
+
+        result = run_guard_scenario(iterations=10, batch_size=16)
+        assert result.guarded_completed
+        assert np.isfinite(result.guarded_loss)
+        assert result.timeline  # at least one remediation fired
+        assert result.unguarded_raised or not np.isfinite(
+            result.unguarded_loss
+        ) or result.unguarded_loss > result.clean_loss

@@ -154,6 +154,51 @@ class TestMatching:
         rt.assert_quiesced()
 
 
+class TestDiagnosticsReport:
+    """The per-rank pending-op report is precise enough to debug a hang."""
+
+    def test_posted_entries_carry_op_category_and_bytes(self):
+        _, rt = make_pair()
+        rt.post(0, "allreduce", category="grad", nbytes=256)
+        report = rt.pending_report()
+        assert "rank 0: posted=[allreduce[grad, 256B]]" in report
+        # ranks with nothing outstanding show explicit '-' markers
+        assert "rank 2: posted=[-] awaiting-wait=[-]" in report
+
+    def test_unwaited_handles_listed_with_seq_and_duration(self):
+        _, rt = make_pair()
+        h = rt.iallreduce(per_rank(4), average=True)
+        report = rt.pending_report()
+        # every rank participates in the collective, so each line names it
+        for rank in range(4):
+            assert f"rank {rank}:" in report
+        assert h.describe() in report
+        assert f"#{h.seq} allreduce" in report and "us)" in report
+        h.wait()
+        rt.assert_quiesced()
+
+    def test_deadlock_message_names_the_leaked_handle(self):
+        _, rt = make_pair()
+        h = rt.ibroadcast(per_rank(4), root=2, category="kfac_bcast")
+        with pytest.raises(DeadlockError) as ei:
+            rt.assert_quiesced()
+        msg = str(ei.value)
+        assert "1 collective(s) issued but never waited" in msg
+        assert f"#{h.seq} broadcast (kfac_bcast" in msg
+        h.wait()  # settle so the leaked handle does not poison later state
+
+    def test_quiesce_mismatch_report_distinguishes_ranks(self):
+        _, rt = make_pair()
+        rt.post(0, "allgather", category="precond", nbytes=64)
+        rt.post(1, "allgather", category="precond", nbytes=64)
+        with pytest.raises(UnmatchedCollectiveError) as ei:
+            rt.assert_quiesced()
+        msg = str(ei.value)
+        assert "never joined" in msg
+        assert "rank 0: posted=[allgather[precond, 64B]]" in msg
+        assert "rank 3: posted=[-]" in msg
+
+
 class TestOverlapAccounting:
     def test_hidden_when_compute_covers_comm(self):
         cluster, rt = make_pair()
