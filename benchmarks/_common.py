@@ -16,12 +16,20 @@ from pathlib import Path
 OUT_DIR = Path(__file__).parent / "out"
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/out/."""
+def emit(name: str, text: str, *, data: dict | None = None) -> None:
+    """Print a result block and persist it under benchmarks/out/.
+
+    ``data`` is the machine-readable twin of the text block: when given
+    it is written through :func:`emit_json`, so every benchmark has a
+    ``BENCH_<name>.json`` artifact CI gates and plots can consume
+    without scraping the table.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
     print(banner + text)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        emit_json(name, data)
 
 
 def emit_json(name: str, payload: dict) -> Path:

@@ -92,7 +92,14 @@ def test_ablation_adaptive_bounds(benchmark):
         cr_rows,
         title="Ablation — adaptive bounds: compression ratio by stage",
     )
-    emit("ablation_adaptive", out)
+    emit(
+        "ablation_adaptive",
+        out,
+        data={
+            "accuracy": {r[0]: r[1] for r in acc_rows},
+            "compression_ratio": {r[0]: r[1] for r in cr_rows},
+        },
+    )
     acc = {r[0]: r[1] for r in acc_rows}
     assert acc["adaptive (filter->SR @ LR drop)"] >= acc["no compression"] - 4.0
     cr = {r[0]: r[1] for r in cr_rows}

@@ -57,7 +57,17 @@ def test_ablation_aggregation_sweep(benchmark):
         title="Ablation — end-to-end speedup vs aggregation factor (P1, 16 nodes)",
     )
     table += "\n\nperformance-model choices: " + str(chosen)
-    emit("ablation_aggregation", table)
+    emit(
+        "ablation_aggregation",
+        table,
+        data={
+            "sweep": [
+                {"model": r[0], **{f"m{m}": s for m, s in zip(M_CANDIDATES, r[1:])}}
+                for r in rows
+            ],
+            "model_choice": chosen,
+        },
+    )
     for row in rows:
         speedups = dict(zip(M_CANDIDATES, row[1:]))
         # m=1 (no aggregation) is never optimal: overheads dominate.

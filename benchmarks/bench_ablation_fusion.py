@@ -49,7 +49,20 @@ def test_ablation_gpu_optimisations(benchmark):
         e2e_rows,
         title="Ablation — GPU optimisations: ResNet-50 end-to-end (P1, 16 nodes)",
     )
-    emit("ablation_fusion", out)
+    emit(
+        "ablation_fusion",
+        out,
+        data={
+            "throughput": [
+                {
+                    "variant": r[0],
+                    **{f"{mb}mb_gbps": v for mb, v in zip(SIZES_MB, r[1:])},
+                }
+                for r in tput_rows
+            ],
+            "end_to_end": {r[0]: r[1] for r in e2e_rows},
+        },
+    )
     tput = {r[0]: r[-1] for r in tput_rows}
     full = tput["fused + warp shuffle (COMPSO)"]
     assert full > tput["no kernel fusion"] > tput["neither"]

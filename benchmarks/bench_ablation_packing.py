@@ -70,7 +70,20 @@ def test_ablation_variable_width_packing(benchmark):
         f"\nfull pipeline at matched accuracy: COMPSO(SR-only) CR={compso_cr:.2f} "
         f"vs QSGD-8bit CR={qsgd_cr:.2f}"
     )
-    emit("ablation_packing", out)
+    emit(
+        "ablation_packing",
+        out,
+        data={
+            "rows": [
+                {"packing": r[0], "bits": r[1], "packed_bytes": r[2], "coded_bytes": r[3]}
+                for r in rows
+            ],
+            "minimal_bits": minimal,
+            "packed_gain": packed_gain,
+            "compso_cr": compso_cr,
+            "qsgd_cr": qsgd_cr,
+        },
+    )
     assert minimal <= 7
     # The paper's arithmetic on the packed stream: 8/minimal - 1 >= 14%.
     assert packed_gain == 8 / minimal - 1

@@ -57,7 +57,22 @@ def test_ext_chaos(benchmark):
         title="Chaos scenarios — convergence and recovery vs fault-free baseline",
         floatfmt=".3f",
     )
-    emit("ext_chaos", out)
+    emit(
+        "ext_chaos",
+        out,
+        data={
+            r[0]: {
+                "world": r[1],
+                "loss": r[2],
+                "baseline_loss": r[3],
+                "loss_delta_pct": r[4],
+                "sim_overhead_pct": r[5],
+                "recover_ms": r[6],
+                "recoveries": r[7],
+            }
+            for r in rows
+        },
+    )
 
     for name, r in results.items():
         # Every scenario must run to completion under fault injection.

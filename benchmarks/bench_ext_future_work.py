@@ -109,7 +109,34 @@ def test_ext_future_work(benchmark):
             f"proxy accuracy {acc_base:.1f}% -> {acc_fc:.1f}%"
         ),
     )
-    emit("ext_future_work", out)
+    emit(
+        "ext_future_work",
+        out,
+        data={
+            "autotune": {
+                "default_cr": default_cr,
+                "rows": [
+                    {
+                        "budget": r[0],
+                        "eb_f": r[1],
+                        "eb_q": r[2],
+                        "cr": r[3],
+                        "vs_default": r[4],
+                    }
+                    for r in tune_rows
+                ],
+            },
+            "factor_compression": {
+                "acc_base": acc_base,
+                "acc_with_factor": acc_fc,
+                "factor_cr": factor_cr,
+                "end_to_end": [
+                    {"model": r[0], "grad_only": r[1], "with_factor": r[2]}
+                    for r in e2e_rows
+                ],
+            },
+        },
+    )
     # Relaxed budgets must out-compress the default empirical setting.
     assert tune_rows[-1][3] > default_cr
     # Factor compression must not hurt accuracy and must add e2e speedup.

@@ -22,7 +22,7 @@ result, including the remediation timeline and breaker transitions.
 
 import math
 
-from benchmarks._common import emit, emit_json
+from benchmarks._common import emit
 from repro.guard.scenario import run_guard_scenario
 from repro.util.tables import format_table
 
@@ -59,8 +59,7 @@ def test_ext_guard(benchmark):
         for e in r.timeline
     )
     out += "\nremediation timeline:\n" + timeline
-    emit("ext_guard", out)
-    emit_json("ext_guard", r.to_dict())
+    emit("ext_guard", out, data=r.to_dict())
 
     # The guard keeps the run alive and near the clean trajectory...
     assert r.guarded_completed, "guarded run did not finish all iterations"

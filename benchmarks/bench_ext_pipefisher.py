@@ -89,7 +89,23 @@ def test_ext_pipefisher(benchmark):
         f"(~{mem['stage_gb']:.1f} GB) and fits a 16 GB GPU — PipeFisher's "
         "motivation, obsolete once 40 GB GPUs fit the replica."
     )
-    emit("ext_pipefisher", out)
+    emit(
+        "ext_pipefisher",
+        out,
+        data={
+            "rows": [
+                {
+                    "stages": r[0],
+                    "bubble_pct": r[1],
+                    "pipefisher_ms": r[2],
+                    "dp_kaisa_ms": r[3],
+                    "dp_compso_ms": r[4],
+                }
+                for r in rows
+            ],
+            "memory": mem,
+        },
+    )
     # Memory argument reproduced.
     assert mem["replica_fits_a100"] and not mem["replica_fits_p100"]
     assert mem["stage_gb"] < 16.0

@@ -105,7 +105,25 @@ def test_ext_related_work(benchmark):
         mem_rows,
         title="Related work — EF memory overhead (why the paper avoids it)",
     )
-    emit("ext_related_work", out)
+    emit(
+        "ext_related_work",
+        out,
+        data={
+            "adaptivity": [
+                {"iteration": r[0], "oktopk_cr": r[1], "compso_cr": r[2]}
+                for r in adapt_rows
+            ],
+            "error_feedback": {
+                "base": {"loss": base_loss, "acc": base_acc},
+                "topk": {"loss": topk_loss, "acc": topk_acc},
+                "ef_topk": {"loss": ef_loss, "acc": ef_acc},
+            },
+            "ef_memory": [
+                {"model": r[0], "residual_gb": r[1], "footprint_pct": r[2]}
+                for r in mem_rows
+            ],
+        },
+    )
     ok_crs = [r[1] for r in adapt_rows]
     ac_crs = [r[2] for r in adapt_rows]
     # Ok-topk's ratio is flat; COMPSO's drops at the pivot by design.

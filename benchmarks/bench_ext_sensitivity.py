@@ -77,7 +77,25 @@ def test_ext_sensitivity(benchmark):
         dev_rows,
         title="Sensitivity — GPU generation (100 Gb/s fabric)",
     )
-    emit("ext_sensitivity", out)
+    emit(
+        "ext_sensitivity",
+        out,
+        data={
+            "bandwidth_sweep": [
+                {
+                    "fabric_gbps": r[0],
+                    "speedup_compso": r[1],
+                    "speedup_pytorch": r[2],
+                    "allgather_pct": r[3],
+                }
+                for r in bw_rows
+            ],
+            "device_sweep": [
+                {"device": r[0], "compso_gbps_60mb": r[1], "speedup": r[2]}
+                for r in dev_rows
+            ],
+        },
+    )
     speedups = [r[1] for r in bw_rows]
     shares = [r[3] for r in bw_rows]
     # Slower fabrics benefit more; comm share falls as bandwidth rises.

@@ -84,7 +84,25 @@ def test_fig1_time_breakdown(benchmark):
         "others": [r[6] for r in rows],
     }
     bars = stacked_bars(labels, series, title="Figure 1 (rendered)")
-    emit("fig01_breakdown", table + "\n\n" + ref + "\n\n" + bars)
+    emit(
+        "fig01_breakdown",
+        table + "\n\n" + ref + "\n\n" + bars,
+        data={
+            "rows": [
+                {
+                    "model": r[0],
+                    "nodes": r[1],
+                    "allgather_pct": r[2],
+                    "allreduce_pct": r[3],
+                    "kfac_compute_pct": r[4],
+                    "fwd_bwd_pct": r[5],
+                    "others_pct": r[6],
+                }
+                for r in rows
+            ],
+            "paper_16node": {k: list(v) for k, v in PAPER_16NODE.items()},
+        },
+    )
     # Paper claims: communication >= 30% everywhere, growing with nodes.
     by_model: dict[str, list[float]] = {}
     for name, nodes, ag, ar, *_ in rows:

@@ -117,7 +117,23 @@ def test_fig3_cr_vs_accuracy(benchmark):
             f"no-compression baselines: ResNet {base_r:.1f}%, BERT {base_b:.1f}"
         ),
     )
-    emit("fig03_cr_accuracy", table)
+    emit(
+        "fig03_cr_accuracy",
+        table,
+        data={
+            "baseline": {"resnet_acc": base_r, "bert_metric": base_b},
+            "rows": [
+                {
+                    "setting": r[0],
+                    "resnet_cr": r[1],
+                    "resnet_acc": r[2],
+                    "bert_cr": r[3],
+                    "bert_metric": r[4],
+                }
+                for r in rows
+            ],
+        },
+    )
     # Ratio panel: loose settings compress (much) more.
     for model in ("resnet50", "bert-large"):
         r = ratios[model]

@@ -106,7 +106,26 @@ def test_fig5_error_distributions(benchmark):
             title="Section 4.2 — rounding-mode accuracy control (aggressive bound)",
         )
     )
-    emit("fig05_error_dist", "\n\n".join(blocks))
+    emit(
+        "fig05_error_dist",
+        "\n\n".join(blocks),
+        data={
+            "shapes": {
+                data_name: [
+                    {
+                        "rounding": r[0],
+                        "mean_err": r[1],
+                        "ks_uniform": r[2],
+                        "ks_triangular": r[3],
+                        "shape": r[4],
+                    }
+                    for r in rows
+                ]
+                for data_name, rows in shapes.items()
+            },
+            "accuracy_by_rounding": acc,
+        },
+    )
     for data_name, rows in shapes.items():
         by = {r[0]: r for r in rows}
         assert by["RN"][4] == "uniform", data_name

@@ -112,4 +112,18 @@ def test_fig6_convergence(benchmark):
         assert kfac_iters < ITERS
         # Fig. 6b: COMPSO tracks the no-compression baseline loss.
         assert per["kfac+compso"].losses[-1] <= per["kfac (no comp.)"].losses[-1] * 1.6 + 0.05
-    emit("fig06_convergence", "\n\n".join(blocks))
+    emit(
+        "fig06_convergence",
+        "\n\n".join(blocks),
+        data={
+            workload: {
+                name: {
+                    "first_loss": float(h.losses[0]),
+                    "final_loss": float(h.losses[-1]),
+                    "final_metric": h.final_metric(),
+                }
+                for name, h in per.items()
+            }
+            for workload, per in results.items()
+        },
+    )

@@ -98,8 +98,23 @@ def test_fig7_comm_speedup(benchmark):
         title="Section 5.2 — measured compression ratios (aggressive stage)",
         floatfmt=".1f",
     )
-    emit("fig07_comm_speedup", table + "\n\n" + cr_table)
     cols = list(COMPRESSORS)
+    emit(
+        "fig07_comm_speedup",
+        table + "\n\n" + cr_table,
+        data={
+            "speedups": [
+                {
+                    "model": r[0],
+                    "platform": r[1],
+                    "gpus": r[2],
+                    **dict(zip(cols, r[3:])),
+                }
+                for r in rows
+            ],
+            "compression_ratios": ratios,
+        },
+    )
     compso_i = 3 + cols.index("compso")
     for row in rows:
         speeds = dict(zip(cols, row[3:]))

@@ -39,7 +39,16 @@ def test_fig8_gpu_throughput(benchmark):
     )
     last = dict(zip(SERIES, rows[-1][1:]))
     ratio = last["compso-cuda"] / last["cocktail-pytorch"]
-    emit("fig08_gpu_throughput", table + f"\n\nCOMPSO / CocktailSGD @120MB = {ratio:.2f}x (paper: 1.7x)")
+    emit(
+        "fig08_gpu_throughput",
+        table + f"\n\nCOMPSO / CocktailSGD @120MB = {ratio:.2f}x (paper: 1.7x)",
+        data={
+            "rows": [
+                {"mb": r[0], **dict(zip(SERIES, r[1:]))} for r in rows
+            ],
+            "compso_vs_cocktail_120mb": ratio,
+        },
+    )
     assert 1.4 < ratio < 2.1
     assert last["qsgd-cuda"] > last["compso-cuda"] > last["qsgd-pytorch"]
     assert last["compso-cuda"] > last["sz-cuda"]

@@ -118,7 +118,35 @@ def test_fig9_end_to_end(benchmark):
         hrs,
         title="Section 5.4 — training-hours comparison (8 GPUs, Platform 1)",
     )
-    emit("fig09_end2end", table + "\n\n" + hrs_table)
+    emit(
+        "fig09_end2end",
+        table + "\n\n" + hrs_table,
+        data={
+            "speedups": [
+                {
+                    "model": r[0],
+                    "platform": r[1],
+                    "gpus": r[2],
+                    "cusz": r[3],
+                    "qsgd": r[4],
+                    "cocktail": r[5],
+                    "compso_f": r[6],
+                    "compso_p": r[7],
+                }
+                for r in rows
+            ],
+            "training_hours": [
+                {
+                    "model": h[0],
+                    "sgd_cocktail_h": h[1],
+                    "kfac_h": h[2],
+                    "kfac_compso_h": h[3],
+                    "vs_sgd_cocktail": h[4],
+                }
+                for h in hrs
+            ],
+        },
+    )
 
     f_col, p_col = 6, 7
     compso_f = [r[f_col] for r in rows]

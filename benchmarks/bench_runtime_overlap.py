@@ -15,7 +15,7 @@ under compute) it is strictly faster.
 
 import numpy as np
 
-from benchmarks._common import emit, emit_json
+from benchmarks._common import emit
 from repro.data import make_image_data
 from repro.distributed import SLINGSHOT10, SLINGSHOT11, SimCluster
 from repro.kfac_dist import DistributedKfacTrainer
@@ -98,10 +98,10 @@ def test_runtime_overlap(benchmark):
         "accounting), not assumed; both modes are verified bit-identical "
         "in parameter space."
     )
-    emit("runtime_overlap", out)
-    emit_json(
+    emit(
         "runtime_overlap",
-        {
+        out,
+        data={
             "iterations": ITERATIONS,
             "train_flops": TRAIN_FLOPS,
             "configs": configs,

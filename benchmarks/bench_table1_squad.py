@@ -76,7 +76,21 @@ def test_table1_squad(benchmark):
         title="Table 1 — span-QA fine-tuning quality (proxy SQuAD)",
         floatfmt=".2f",
     )
-    emit("table1_squad", table)
+    emit(
+        "table1_squad",
+        table,
+        data={
+            "rows": [
+                {
+                    "approach": r[0],
+                    "error_control": r[1],
+                    "exact_match": r[2],
+                    "f1": r[3],
+                }
+                for r in rows
+            ]
+        },
+    )
     by = {r[0]: (r[2], r[3]) for r in rows}
     target_f1 = by["kfac (no comp.)"][1]
     # The paper's shape: QSGD/Cocktail/COMPSO land near the target.

@@ -79,7 +79,25 @@ def test_table2_encoders(benchmark):
             )
         )
     blocks.append(f"encoder selected by the performance model: {best}")
-    emit("table2_encoders", "\n\n".join(blocks))
+    emit(
+        "table2_encoders",
+        "\n\n".join(blocks),
+        data={
+            "selected_encoder": best,
+            "models": {
+                model: [
+                    {
+                        "encoder": r[0],
+                        "compress_gbps": r[1],
+                        "overall_cr": r[2],
+                        "decompress_gbps": r[3],
+                    }
+                    for r in rows
+                ]
+                for model, rows in results.items()
+            },
+        },
+    )
     assert best == "ans"
     for model, rows in results.items():
         cr = {r[0]: r[2] for r in rows}

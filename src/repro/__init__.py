@@ -39,6 +39,7 @@ __all__ = [
     "gpusim",
     "faults",
     "guard",
+    "obsv",
     "data",
     "train",
     "telemetry",

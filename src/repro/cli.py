@@ -18,6 +18,12 @@ Commands:
 * ``overlap`` — train the same K-FAC job blocking and with scheduled
   compute/communication overlap, verify the two are bit-identical, and
   report the measured hidden-communication split;
+* ``record`` — run a seeded guarded+overlapped training job and write
+  its run ledger (the canonical per-run observability artifact);
+* ``report`` — render a recorded ledger as a self-contained HTML
+  dashboard plus a markdown summary;
+* ``diff`` — compare two ledgers under per-metric tolerance bands and
+  exit non-zero on regression (the CI perf gate);
 * ``experiments`` — list the paper's tables/figures and their benches.
 """
 
@@ -330,6 +336,101 @@ def cmd_overlap(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro record`` presets: one honest configuration and one with a
+#: deliberately loosened error bound (the regression the diff gate must
+#: catch).  Everything else is shared so the two runs stay like-for-like.
+_RECORD_PRESETS = {
+    "smoke": {"eb": 4e-3},
+    "smoke-degraded": {"eb": 0.5},
+}
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.core import CompsoCompressor
+    from repro.data import make_image_data
+    from repro.distributed import SimCluster
+    from repro.guard.guard import GuardConfig
+    from repro.kfac_dist import DistributedKfacTrainer
+    from repro.models import resnet_proxy
+    from repro.obsv import LedgerConfig, load_ledger, summarize
+    from repro.runtime import ComputeModel, StreamRuntime
+    from repro.train import ClassificationTask
+
+    eb = args.eb if args.eb is not None else _RECORD_PRESETS[args.preset]["eb"]
+    task = ClassificationTask(
+        make_image_data(256, n_classes=5, size=8, noise=0.5, seed=0)
+    )
+    cluster = SimCluster(args.nodes, args.gpus_per_node, seed=0)
+    runtime = None
+    if not args.no_overlap:
+        runtime = StreamRuntime(
+            cluster, overlap=True, n_comm_streams=2, compute=ComputeModel(train_flops=5e7)
+        )
+    trainer = DistributedKfacTrainer(
+        resnet_proxy(n_classes=5, channels=8, rng=3),
+        task,
+        cluster,
+        lr=0.05,
+        inv_update_freq=2,
+        compressor=CompsoCompressor(eb, eb, seed=0),
+        runtime=runtime,
+        guard=None if args.no_guard else GuardConfig(),
+        obsv=LedgerConfig(args.out, note=f"preset={args.preset} eb={eb}"),
+    )
+    with telemetry.session():
+        trainer.train(
+            iterations=args.iterations,
+            batch_size=args.batch_size,
+            eval_every=args.iterations,
+            seed=args.seed,
+        )
+    ledger = load_ledger(args.out)
+    print(f"wrote {args.out} ({len(ledger.steps)} step records)")
+    for key, value in summarize(ledger).items():
+        print(f"  {key:22s} {value}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obsv import load_ledger, render_markdown, write_report
+
+    ledger = load_ledger(args.ledger)
+    stem = args.ledger.rsplit(".", 1)[0]
+    html_path = args.html if args.html else f"{stem}.html"
+    md_path = args.md if args.md else f"{stem}.md"
+    written = write_report(ledger, html_path=html_path, md_path=md_path)
+    print(render_markdown(ledger))
+    for p in written:
+        print(f"wrote {p}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obsv import DEFAULT_SPECS, diff_ledgers, load_ledger, parse_tolerance
+
+    overrides = {}
+    for spec in args.tol or []:
+        parsed = parse_tolerance(spec, DEFAULT_SPECS)
+        overrides[parsed.name] = parsed
+    baseline = load_ledger(args.baseline)
+    candidate = load_ledger(args.candidate)
+    diff = diff_ledgers(baseline, candidate, tolerances=overrides)
+    print(diff.format_table(title=f"run diff — {args.baseline} vs {args.candidate}"))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(diff.to_dict(), f, indent=2)
+        print(f"\nwrote {args.json}")
+    if not diff.ok:
+        names = ", ".join(r.metric for r in diff.regressions)
+        print(f"\nREGRESSION: {names}", file=sys.stderr)
+        return 1
+    print("\nok: no regression beyond tolerance bands")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[0]) for e in _EXPERIMENTS)
     for tag, desc, bench in _EXPERIMENTS:
@@ -407,6 +508,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", default="overlap.json", help="result JSON path ('' skips)")
     p.set_defaults(func=cmd_overlap)
+
+    p = sub.add_parser("record", help="record a run ledger (guarded+overlapped by default)")
+    p.add_argument("--preset", default="smoke", choices=sorted(_RECORD_PRESETS))
+    p.add_argument("--out", default="run.ledger", help="ledger output path")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--gpus-per-node", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eb", type=float, default=None, help="override the preset's error bound")
+    p.add_argument("--no-guard", action="store_true", help="disable the guard layer")
+    p.add_argument("--no-overlap", action="store_true", help="disable the overlap runtime")
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("report", help="render a ledger as HTML dashboard + markdown")
+    p.add_argument("ledger", help="path to a recorded .ledger file")
+    p.add_argument("--html", default="", help="HTML output path (default: <ledger>.html)")
+    p.add_argument("--md", default="", help="markdown output path (default: <ledger>.md)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("diff", help="compare two ledgers; exit non-zero on regression")
+    p.add_argument("baseline", help="baseline .ledger")
+    p.add_argument("candidate", help="candidate .ledger")
+    p.add_argument(
+        "--tol",
+        action="append",
+        metavar="METRIC=VALUE",
+        help="tolerance override, e.g. final_loss=0.1, sim_time=abs:0.01 "
+        "(VALUE is a relative band unless prefixed abs:)",
+    )
+    p.add_argument("--json", default="", help="write the diff result as JSON to this path")
+    p.set_defaults(func=cmd_diff)
 
     sub.add_parser("experiments", help="list paper artefacts and benches").set_defaults(
         func=cmd_experiments

@@ -64,6 +64,7 @@ class DistributedKfacTrainer:
         runtime=None,
         guard=None,
         reliable_channel: bool = True,
+        obsv=None,
     ):
         self.model = model
         self.task = task
@@ -122,6 +123,24 @@ class DistributedKfacTrainer:
                 compressor=self.compressor, kfac=self.kfac, trainer=self, cluster=cluster
             )
             self.guard.attach_runtime(self.runtime)
+        #: Optional :class:`repro.obsv.LedgerConfig` (or LedgerWriter):
+        #: the run ledger folding metrics, span digests, overlap
+        #: accounting, and guard events into one artifact per run.
+        #: ``None`` (the default) is bit-identical to before — the
+        #: writer only reads trainer state and never consumes RNG.
+        from repro.obsv.ledger import as_ledger
+
+        self.obsv = as_ledger(obsv)
+        if self.obsv is not None:
+            self.obsv.bind(
+                kind="kfac",
+                trainer=self,
+                cluster=cluster,
+                runtime=self.runtime,
+                guard=self.guard,
+                compressor=self.compressor,
+                factor_compressor=self.factor_compressor,
+            )
 
     def _layer_dims(self, idx: int) -> tuple[int, int]:
         layer = self.kfac.layers[idx]
@@ -250,6 +269,7 @@ class DistributedKfacTrainer:
         compressor = self.compressor if guard is None else guard.active(self.compressor)
         wire = 0.0
         original = 0.0
+        layer_wire: list[tuple[int, float, float]] = []
         precond: dict[int, np.ndarray] = {}
         for i in range(len(self.kfac.layers)):
             with tracer.span("precondition", "precondition", layer=i):
@@ -275,8 +295,9 @@ class DistributedKfacTrainer:
                 if guard is not None:
                     pg = guard.scan(pg, what="kfac_allgather").reshape(owner_pg.shape)
             wire += payload_bytes
+            layer_wire.append((i, payload_bytes, owner_pg.nbytes))
             precond[i] = pg
-        return self._apply_and_record(losses, precond, wire, original, tracer)
+        return self._apply_and_record(losses, precond, wire, original, tracer, layer_wire)
 
     # -- guard hooks -----------------------------------------------------------
 
@@ -313,6 +334,7 @@ class DistributedKfacTrainer:
         wire: float,
         original: float,
         tracer,
+        layer_wire: list[tuple[int, float, float]] | None = None,
     ) -> float:
         """Shared step tail: apply the update, record history and metrics."""
         self.bytes_on_wire.append(wire)
@@ -338,6 +360,15 @@ class DistributedKfacTrainer:
             if original > 0:
                 m.histogram("train.step_compression_ratio").observe(original / max(wire, 1.0))
             m.record_step(self.t, sim_time=self.cluster.time)
+        if self.obsv is not None:
+            self.obsv.record_step(
+                self.t,
+                loss=mean_loss,
+                lr=self.kfac.lr,
+                wire_bytes=wire,
+                dense_bytes=original,
+                layers=layer_wire,
+            )
         self.t += 1
         self.kfac.t = self.t
         if self.guard is not None:
@@ -439,6 +470,7 @@ class DistributedKfacTrainer:
         compressor = self.compressor if guard is None else guard.active(self.compressor)
         wire = 0.0
         original = 0.0
+        layer_wire: list[tuple[int, float, float]] = []
         precond: dict[int, np.ndarray] = {}
         originals: dict[int, np.ndarray] = {}
         bcast_handles: dict[int, tuple] = {}
@@ -485,6 +517,7 @@ class DistributedKfacTrainer:
                         False,
                     )
             wire += payload_bytes
+            layer_wire.append((i, payload_bytes, pg.nbytes))
         with tracer.span("allgather_wait", "comm"):
             for i, (handle, compressed) in bcast_handles.items():
                 got = handle.wait()[0]
@@ -497,7 +530,7 @@ class DistributedKfacTrainer:
                 else:
                     precond[i] = got
         rt.assert_quiesced()
-        return self._apply_and_record(losses, precond, wire, original, tracer)
+        return self._apply_and_record(losses, precond, wire, original, tracer, layer_wire)
 
     def _factor_allreduce(
         self,
@@ -670,6 +703,8 @@ class DistributedKfacTrainer:
         self._last_checkpoint = Path(path)
 
     def train(self, *, iterations: int, batch_size: int, eval_every: int = 0, seed: int = 0):
+        if self.obsv is not None:
+            self.obsv.update_manifest(seed=seed, iterations=iterations, batch_size=batch_size)
         for t, idx in enumerate(
             batch_indices(self.task.n, batch_size, iterations=iterations, seed=seed)
         ):
@@ -683,6 +718,8 @@ class DistributedKfacTrainer:
             ):
                 self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
                 self.save_state(self.checkpoint_dir / "latest.npz")
+        if self.obsv is not None:
+            self.obsv.close(final_metric=self.history.final_metric())
         return self.history
 
     def mean_compression_ratio(self) -> float:

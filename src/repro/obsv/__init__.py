@@ -1,0 +1,80 @@
+"""Run ledger, report/diff analytics, and the perf-regression gate.
+
+The paper's claims are comparative — COMPSO vs. dense and vs. prior
+compressors on iteration breakdowns, compression ratio vs. accuracy,
+and end-to-end speedup — so the reproduction needs *like-for-like run
+accounting*: one canonical artifact per run that every other subsystem
+(telemetry, runtime overlap, guard) folds into, plus tooling to render
+it and to compare two of them under tolerance bands.
+
+* :mod:`repro.obsv.ledger` — the versioned run ledger trainers write
+  via ``obsv=LedgerConfig(...)``;
+* :mod:`repro.obsv.analytics` — trajectories and summary scalars;
+* :mod:`repro.obsv.report` — self-contained HTML dashboard + markdown;
+* :mod:`repro.obsv.diff` — structural run comparison that exits CI
+  non-zero on perf/accuracy regression against committed baselines.
+"""
+
+from __future__ import annotations
+
+from repro.obsv.analytics import (
+    bound_series,
+    cr_series,
+    guard_timeline,
+    loss_series,
+    overlap_summary,
+    per_layer_cr,
+    span_totals,
+    summarize,
+    wire_series,
+)
+from repro.obsv.diff import (
+    DEFAULT_SPECS,
+    DiffRow,
+    MetricSpec,
+    RunDiff,
+    diff_ledgers,
+    parse_tolerance,
+)
+from repro.obsv.ledger import (
+    SCHEMA_VERSION,
+    LedgerConfig,
+    LedgerError,
+    LedgerWriter,
+    RunLedger,
+    as_ledger,
+    describe_compressor,
+    fault_plan_digest,
+    load_ledger,
+)
+from repro.obsv.report import render_html, render_markdown, write_report
+
+__all__ = [
+    "DEFAULT_SPECS",
+    "DiffRow",
+    "LedgerConfig",
+    "LedgerError",
+    "LedgerWriter",
+    "MetricSpec",
+    "RunDiff",
+    "RunLedger",
+    "SCHEMA_VERSION",
+    "as_ledger",
+    "bound_series",
+    "cr_series",
+    "describe_compressor",
+    "diff_ledgers",
+    "fault_plan_digest",
+    "guard_timeline",
+    "load_ledger",
+    "loss_series",
+    "overlap_summary",
+    "parse_tolerance",
+    "per_layer_cr",
+    "render_html",
+    "render_markdown",
+    "span_totals",
+    "summarize",
+    "wire_series",
+    "write_report",
+]

@@ -1,0 +1,137 @@
+"""Analytics over a parsed :class:`~repro.obsv.ledger.RunLedger`.
+
+Pure functions from a ledger to trajectories and summary scalars; the
+report renderer and the run comparator are both built on top of these,
+so a metric means exactly the same thing in a dashboard and in a CI
+gate.
+"""
+
+from __future__ import annotations
+
+from repro.obsv.ledger import RunLedger
+
+__all__ = [
+    "bound_series",
+    "cr_series",
+    "guard_timeline",
+    "loss_series",
+    "overlap_summary",
+    "per_layer_cr",
+    "series",
+    "span_totals",
+    "summarize",
+    "wire_series",
+]
+
+
+def series(ledger: RunLedger, key: str) -> list:
+    """Per-step values of one scalar field (missing steps skipped)."""
+    return [r[key] for r in ledger.steps if key in r]
+
+
+def loss_series(ledger: RunLedger) -> list[float]:
+    return series(ledger, "loss")
+
+
+def cr_series(ledger: RunLedger) -> list[float]:
+    """Whole-step compression ratio (dense bytes / wire bytes)."""
+    return series(ledger, "cr")
+
+
+def wire_series(ledger: RunLedger) -> list[float]:
+    return series(ledger, "wire_bytes")
+
+
+def bound_series(ledger: RunLedger) -> list[dict]:
+    """Error-bound trajectory ``[{"step": t, "eb_f": ..., "eb_q": ...}]``.
+
+    Under an adaptive schedule this is the loose→tight staircase the
+    paper's iteration-wise adaptation produces.
+    """
+    return [
+        {"step": r["step"], **r["bounds"]} for r in ledger.steps if "bounds" in r
+    ]
+
+
+def per_layer_cr(ledger: RunLedger) -> dict[int, list[float]]:
+    """Per-layer compression-ratio trajectories from step ``layers`` triples."""
+    out: dict[int, list[float]] = {}
+    for r in ledger.steps:
+        for layer, wire, dense in r.get("layers", []):
+            out.setdefault(int(layer), []).append(float(dense) / max(float(wire), 1.0))
+    return out
+
+
+def guard_timeline(ledger: RunLedger) -> list[dict]:
+    """Flattened guard remediation events, each tagged with its step."""
+    out: list[dict] = []
+    for r in ledger.steps:
+        for event in r.get("guard_events", []):
+            out.append({"step": r["step"], **event})
+    return out
+
+
+def overlap_summary(ledger: RunLedger) -> dict | None:
+    """End-of-run hidden/exposed comm accounting (None if no runtime)."""
+    overlap = ledger.final.get("overlap")
+    if overlap is None:
+        for r in reversed(ledger.steps):
+            if "overlap" in r:
+                return r["overlap"]
+    return overlap
+
+
+def span_totals(ledger: RunLedger) -> dict[str, dict[str, dict]]:
+    """Per-track per-category span digests aggregated across all steps.
+
+    Counts and totals sum exactly; the percentile columns report the
+    worst (largest) per-step digest value, a conservative tail estimate
+    that needs no raw samples.
+    """
+    out: dict[str, dict[str, dict]] = {}
+    for r in ledger.steps:
+        for track, cats in r.get("spans", {}).items():
+            per_track = out.setdefault(track, {})
+            for cat, d in cats.items():
+                agg = per_track.setdefault(
+                    cat, {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                )
+                agg["count"] += d["count"]
+                agg["total"] += d["total"]
+                for q in ("p50", "p95", "p99"):
+                    agg[q] = max(agg[q], d[q])
+    return out
+
+
+def summarize(ledger: RunLedger) -> dict:
+    """Flat scalar summary — the metric set reports and diffs consume.
+
+    Every value is deterministic given ``(seed, config)``; wall-clock
+    quantities are deliberately excluded so two machines can compare
+    ledgers.
+    """
+    final = ledger.final
+    losses = loss_series(ledger)
+    tail = losses[-max(len(losses) // 4, 1) :] if losses else []
+    out: dict = {
+        "steps": final.get("steps", len(ledger.steps)),
+        "world_size": final.get("world_size"),
+        "final_loss": final.get("final_loss"),
+        "tail_loss": sum(tail) / len(tail) if tail else None,
+        "mean_cr": final.get("mean_cr"),
+        "total_wire_mb": final.get("total_wire_bytes", 0.0) / 1e6,
+        "total_dense_mb": final.get("total_dense_bytes", 0.0) / 1e6,
+        "sim_time": final.get("sim_time"),
+    }
+    if final.get("final_metric") is not None:
+        out["final_metric"] = final["final_metric"]
+    overlap = overlap_summary(ledger)
+    if overlap is not None:
+        out["hidden_comm_seconds"] = overlap["hidden"]
+        out["exposed_comm_seconds"] = overlap["exposed"]
+        out["hidden_fraction"] = overlap["hidden_fraction"]
+    guard = final.get("guard")
+    if guard is not None:
+        out["guard_remediations"] = len(guard.get("remediations", []))
+        out["breaker_trips"] = guard.get("breaker", {}).get("trips", 0)
+    return out

@@ -1,0 +1,192 @@
+"""Structural run comparison with per-metric tolerance bands.
+
+``diff_ledgers(baseline, candidate)`` compares the two runs'
+:func:`~repro.obsv.analytics.summarize` scalars.  Each metric has a
+direction (which way is *better*) and a tolerance band; a candidate
+that moves past the band in the worse direction is a **regression**,
+past it in the better direction an **improvement**, and directionless
+metrics (world size, step count) that change at all are **drift** —
+the run is no longer like-for-like.  Regressions and drift both gate:
+:meth:`RunDiff.ok` is False and the CLI exits non-zero.
+
+Tolerances are deliberately per-metric: simulated time and byte counts
+drift a little across BLAS builds (eigendecompositions are not
+bit-portable), so the defaults are wide enough to absorb numerical
+noise while still catching a genuinely degraded configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obsv.analytics import summarize
+from repro.obsv.ledger import RunLedger
+from repro.util.tables import format_table
+
+__all__ = [
+    "DEFAULT_SPECS",
+    "DiffRow",
+    "MetricSpec",
+    "RunDiff",
+    "diff_ledgers",
+    "parse_tolerance",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one summary metric is compared.
+
+    ``better`` is ``"lower"``, ``"higher"``, or ``"none"`` (any change
+    beyond the band is drift).  ``rel_tol`` and ``abs_tol`` combine as
+    ``|delta| <= abs_tol + rel_tol * |baseline|``.
+    """
+
+    name: str
+    better: str = "none"
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+
+    def band(self, baseline: float) -> float:
+        return self.abs_tol + self.rel_tol * abs(baseline)
+
+
+#: Default comparison rules for every ledger summary metric.
+DEFAULT_SPECS: dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in (
+        MetricSpec("steps", "none"),
+        MetricSpec("world_size", "none"),
+        MetricSpec("final_loss", "lower", rel_tol=0.25),
+        MetricSpec("tail_loss", "lower", rel_tol=0.25),
+        MetricSpec("final_metric", "higher", rel_tol=0.10, abs_tol=1.0),
+        MetricSpec("mean_cr", "higher", rel_tol=0.25),
+        MetricSpec("total_wire_mb", "lower", rel_tol=0.25),
+        MetricSpec("total_dense_mb", "none", rel_tol=0.01),
+        MetricSpec("sim_time", "lower", rel_tol=0.25),
+        MetricSpec("hidden_comm_seconds", "higher", rel_tol=0.35, abs_tol=1e-9),
+        MetricSpec("exposed_comm_seconds", "lower", rel_tol=0.35, abs_tol=1e-9),
+        MetricSpec("hidden_fraction", "higher", abs_tol=0.15),
+        MetricSpec("guard_remediations", "lower", abs_tol=2.0),
+        MetricSpec("breaker_trips", "lower", abs_tol=1.0),
+    )
+}
+
+
+@dataclass
+class DiffRow:
+    """One metric's comparison outcome."""
+
+    metric: str
+    baseline: float | None
+    candidate: float | None
+    delta: float | None
+    tolerance: float | None
+    #: ``ok`` | ``improved`` | ``regressed`` | ``drift`` | ``missing``
+    status: str
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "tolerance": self.tolerance,
+            "status": self.status,
+        }
+
+
+_GATING = ("regressed", "drift", "missing")
+
+
+@dataclass
+class RunDiff:
+    """All compared metrics plus the gate verdict."""
+
+    rows: list[DiffRow] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffRow]:
+        return [r for r in self.rows if r.status in _GATING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_table(self, *, title: str | None = None) -> str:
+        def cell(v):
+            return "-" if v is None else v
+
+        rows = [
+            [r.metric, cell(r.baseline), cell(r.candidate), cell(r.delta), cell(r.tolerance), r.status]
+            for r in self.rows
+        ]
+        return format_table(
+            ["metric", "baseline", "candidate", "delta", "tol", "status"],
+            rows,
+            title=title or "run diff — per-metric deltas",
+            floatfmt=".6g",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "regressions": [r.metric for r in self.regressions],
+            "rows": [r.to_dict() for r in self.rows],
+        }
+
+
+def parse_tolerance(spec: str, specs: dict[str, MetricSpec]) -> MetricSpec:
+    """Parse one ``--tol`` override: ``metric=REL``, ``metric=rel:X`` or
+    ``metric=abs:X``; unknown metrics compare as directionless drift."""
+    if "=" not in spec:
+        raise ValueError(f"tolerance override {spec!r} is not metric=value")
+    name, value = spec.split("=", 1)
+    base = specs.get(name, MetricSpec(name, "none"))
+    if value.startswith("abs:"):
+        return MetricSpec(name, base.better, rel_tol=0.0, abs_tol=float(value[4:]))
+    if value.startswith("rel:"):
+        value = value[4:]
+    return MetricSpec(name, base.better, rel_tol=float(value), abs_tol=0.0)
+
+
+def _compare(spec: MetricSpec, baseline, candidate) -> DiffRow:
+    if baseline is None and candidate is None:
+        return DiffRow(spec.name, None, None, None, None, "ok")
+    if baseline is None or candidate is None:
+        return DiffRow(spec.name, baseline, candidate, None, None, "missing")
+    baseline = float(baseline)
+    candidate = float(candidate)
+    delta = candidate - baseline
+    band = spec.band(baseline)
+    if abs(delta) <= band:
+        return DiffRow(spec.name, baseline, candidate, delta, band, "ok")
+    if spec.better == "none":
+        return DiffRow(spec.name, baseline, candidate, delta, band, "drift")
+    worse = delta > 0 if spec.better == "lower" else delta < 0
+    status = "regressed" if worse else "improved"
+    return DiffRow(spec.name, baseline, candidate, delta, band, status)
+
+
+def diff_ledgers(
+    baseline: RunLedger,
+    candidate: RunLedger,
+    *,
+    tolerances: dict[str, MetricSpec] | None = None,
+) -> RunDiff:
+    """Compare two runs' summary metrics under tolerance bands.
+
+    ``tolerances`` overrides (or extends) :data:`DEFAULT_SPECS` per
+    metric name.  Metrics present in either summary are compared; a
+    metric present on one side only is ``missing`` and gates.
+    """
+    specs = dict(DEFAULT_SPECS)
+    if tolerances:
+        specs.update(tolerances)
+    a = summarize(baseline)
+    b = summarize(candidate)
+    diff = RunDiff()
+    for name in sorted(set(a) | set(b)):
+        spec = specs.get(name, MetricSpec(name, "none"))
+        diff.rows.append(_compare(spec, a.get(name), b.get(name)))
+    return diff

@@ -1,0 +1,456 @@
+"""The run ledger: one canonical, versioned artifact per training run.
+
+A ledger is a JSONL file with three kinds of lines, in order:
+
+1. one **manifest** record — ``{"manifest": {...}}`` — describing the
+   run's configuration: schema version, trainer kind, cluster shape and
+   fabric, compressor, fault-plan digest, guard/runtime settings, seed;
+2. one **step** record per training iteration, folding together every
+   observability source that previously landed in separate outputs:
+   trainer scalars (loss/lr/compression), the active
+   :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot, tracer
+   span aggregates (per-category count/total/p50/p95/p99 duration
+   digests), the runtime's hidden/exposed overlap accounting, and any
+   ``guard.*`` remediation events that fired during the step;
+3. one **final** record — ``{"final": {...}}`` — with end-of-run
+   summary scalars and the guard's full report.
+
+Determinism contract: with the default configuration every line except
+the manifest's ``created_unix`` timestamp is a pure function of
+``(seed, config)`` — span digests default to the simulated-time tracks
+(``sim``/``device``) precisely so wall-clock noise never enters the
+body.  :meth:`RunLedger.body_text` excludes the timestamp, which is
+what the determinism tests and :func:`RunLedger.digest` hash.
+
+Trainers write ledgers through the ``obsv=LedgerConfig(...)`` kwarg;
+``obsv=None`` (the default) is bit-identical to a build without this
+subsystem — the writer only ever *reads* trainer state and never
+consumes randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "LedgerConfig",
+    "LedgerError",
+    "LedgerWriter",
+    "RunLedger",
+    "as_ledger",
+    "describe_compressor",
+    "fault_plan_digest",
+    "load_ledger",
+]
+
+#: Ledger schema version.  Bump on any breaking change to record shapes;
+#: readers accept equal versions and refuse newer ones (see DESIGN.md).
+SCHEMA_VERSION = 1
+
+_SCALARS = (bool, int, float, str)
+
+
+class LedgerError(RuntimeError):
+    """Malformed ledger file or misuse of the writer."""
+
+
+def _scalarize(value):
+    """JSON-safe scalar for manifest fields (numpy scalars included)."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, _SCALARS):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return value.item()
+        except (ValueError, TypeError):
+            return None
+    return None
+
+
+def describe_compressor(compressor) -> dict | None:
+    """JSON-safe description of a compressor: class, name, scalar params.
+
+    Wrapped compressors (error feedback, adaptive schedules) describe
+    their ``inner`` recursively so the manifest records the whole stack.
+    """
+    if compressor is None:
+        return None
+    out: dict = {
+        "class": type(compressor).__name__,
+        "name": getattr(compressor, "name", None),
+    }
+    params = {}
+    for key, value in sorted(vars(compressor).items()):
+        if key.startswith("_") or key in ("name", "inner"):
+            continue
+        scalar = _scalarize(value)
+        if scalar is not None or value is None:
+            params[key] = scalar
+    if params:
+        out["params"] = params
+    inner = getattr(compressor, "inner", None)
+    if inner is not None:
+        out["inner"] = describe_compressor(inner)
+    return out
+
+
+def fault_plan_digest(plan) -> str | None:
+    """Stable hex digest of a :class:`~repro.faults.plan.FaultPlan`.
+
+    The digest covers the plan's seed and its full human-readable
+    schedule (:meth:`FaultPlan.describe` renders every entry), so two
+    runs share a digest exactly when they share a fault schedule.
+    """
+    if plan is None:
+        return None
+    payload = f"seed={plan.seed}\n{plan.describe()}".encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+@dataclass
+class LedgerConfig:
+    """Configuration for a trainer-written run ledger.
+
+    ``span_tracks`` defaults to the simulated-time tracks so the ledger
+    body stays deterministic; add ``"host"`` to also digest wall-clock
+    trainer-phase spans (useful for profiling, fatal for byte-identical
+    replay comparisons).
+    """
+
+    path: str | Path
+    #: Fold per-step MetricsRegistry snapshots into step records.
+    metrics: bool = True
+    #: Fold per-category span-duration digests into step records.
+    span_digests: bool = True
+    span_tracks: tuple[str, ...] = ("sim", "device")
+    #: Free-form annotation stored in the manifest.
+    note: str = ""
+
+    def build(self) -> "LedgerWriter":
+        return LedgerWriter(self)
+
+
+def as_ledger(obsv: "LedgerConfig | LedgerWriter | None") -> "LedgerWriter | None":
+    """Normalise a trainer's ``obsv=`` argument to a LedgerWriter."""
+    if obsv is None:
+        return None
+    if isinstance(obsv, LedgerConfig):
+        return obsv.build()
+    return obsv
+
+
+def _digest(durations: list[float]) -> dict:
+    """count/total/p50/p95/p99 digest of a duration list (nearest rank)."""
+    ordered = sorted(durations)
+    n = len(ordered)
+
+    def pct(q: float) -> float:
+        rank = max(int(-(-q * n // 100)), 1)
+        return ordered[rank - 1]
+
+    return {
+        "count": n,
+        "total": sum(ordered),
+        "p50": pct(50.0),
+        "p95": pct(95.0),
+        "p99": pct(99.0),
+    }
+
+
+class LedgerWriter:
+    """Buffers one run's records and writes the ledger file on close.
+
+    The writer is passive: trainers push step scalars into
+    :meth:`record_step`, and the writer pulls everything else (metrics,
+    spans, overlap accounting, guard events) from the objects it was
+    :meth:`bind`-ed to.  Buffering in memory keeps the on-disk artifact
+    atomic — a crashed run leaves no half-written ledger behind.
+    """
+
+    def __init__(self, config: LedgerConfig):
+        self.config = config
+        self.path = Path(config.path)
+        self._manifest: dict = {
+            "schema_version": SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "note": config.note,
+        }
+        self._steps: list[dict] = []
+        self._closed = False
+        # Bound observability sources (all optional).
+        self._trainer = None
+        self._cluster = None
+        self._runtime = None
+        self._guard = None
+        # Cursors into append-only source streams.
+        self._span_cursor = 0
+        self._guard_cursor = 0
+
+    # -- configuration ---------------------------------------------------------
+
+    def bind(
+        self,
+        *,
+        kind: str,
+        trainer=None,
+        cluster=None,
+        runtime=None,
+        guard=None,
+        compressor=None,
+        factor_compressor=None,
+    ) -> "LedgerWriter":
+        """Attach the run's subsystems and fill the manifest config."""
+        self._trainer = trainer
+        self._cluster = cluster
+        self._runtime = runtime
+        self._guard = guard
+        self._manifest["kind"] = kind
+        if cluster is not None:
+            self._manifest["cluster"] = {
+                "n_nodes": cluster.n_nodes,
+                "gpus_per_node": cluster.gpus_per_node,
+                "world_size": cluster.world_size,
+                "fabric": cluster.network.name,
+            }
+            plan = cluster.faults.plan if cluster.faults is not None else None
+            self._manifest["fault_plan"] = fault_plan_digest(plan)
+        self._manifest["compressor"] = describe_compressor(compressor)
+        if factor_compressor is not None:
+            self._manifest["factor_compressor"] = describe_compressor(factor_compressor)
+        if runtime is not None:
+            self._manifest["runtime"] = {
+                "overlap": runtime.overlap,
+                "n_comm_streams": runtime.n_comm_streams,
+                "bucket_bytes": runtime.bucket_bytes,
+            }
+        if guard is not None:
+            config = getattr(guard, "config", None)
+            guarded: dict = {"enabled": True}
+            if config is not None:
+                for key, value in sorted(vars(config).items()):
+                    scalar = _scalarize(value)
+                    if scalar is not None or value is None:
+                        guarded[key] = scalar
+            self._manifest["guard"] = guarded
+        return self
+
+    def update_manifest(self, **fields) -> None:
+        """Merge run-level fields (seed, iterations, ...) into the manifest."""
+        if self._closed:
+            raise LedgerError(f"{self.path}: ledger already closed")
+        for key, value in fields.items():
+            self._manifest[key] = _scalarize(value) if not isinstance(value, dict) else value
+
+    # -- per-step capture ------------------------------------------------------
+
+    def _capture_spans(self) -> dict | None:
+        from repro.telemetry import get_tracer
+
+        tracer = get_tracer()
+        if not tracer.enabled or not self.config.span_digests:
+            return None
+        spans = tracer.spans()
+        fresh = spans[self._span_cursor :]
+        self._span_cursor = len(spans)
+        out: dict[str, dict] = {}
+        for track in self.config.span_tracks:
+            per_cat: dict[str, list[float]] = {}
+            for s in fresh:
+                if s.track == track:
+                    per_cat.setdefault(s.category, []).append(s.duration)
+            if per_cat:
+                out[track] = {cat: _digest(d) for cat, d in sorted(per_cat.items())}
+        return out or None
+
+    def _capture_metrics(self) -> list | None:
+        from repro.telemetry import get_metrics
+
+        m = get_metrics()
+        if not m.enabled or not self.config.metrics:
+            return None
+        return m.snapshot()
+
+    def _capture_overlap(self) -> dict | None:
+        rt = self._runtime
+        if rt is None:
+            return None
+        return {
+            "hidden": rt.hidden_comm_seconds(),
+            "exposed": rt.exposed_comm_seconds(),
+            "hidden_fraction": rt.hidden_fraction(),
+            "per_category": rt.overlap_stats(),
+        }
+
+    def _capture_guard_events(self) -> list:
+        guard = self._guard
+        if guard is None:
+            return []
+        timeline = guard.timeline
+        fresh = [a.to_dict() for a in timeline[self._guard_cursor :]]
+        self._guard_cursor = len(timeline)
+        if fresh:
+            for event in fresh:
+                event["breaker_state"] = guard.breaker.state
+        return fresh
+
+    def _capture_bounds(self) -> dict | None:
+        trainer = self._trainer
+        compressor = getattr(trainer, "compressor", None) if trainer is not None else None
+        inner = getattr(compressor, "inner", None)
+        source = inner if inner is not None else compressor
+        eb_f = _scalarize(getattr(source, "eb_f", None))
+        eb_q = _scalarize(getattr(source, "eb_q", None))
+        if eb_f is None and eb_q is None:
+            return None
+        return {"eb_f": eb_f, "eb_q": eb_q}
+
+    def record_step(
+        self,
+        step: int,
+        *,
+        loss: float,
+        lr: float | None = None,
+        wire_bytes: float | None = None,
+        dense_bytes: float | None = None,
+        layers: list | None = None,
+        **extra,
+    ) -> dict:
+        """Fold one iteration's observability into a step record.
+
+        ``layers`` is an optional list of ``[layer, wire_bytes,
+        dense_bytes]`` triples (the per-layer compression trajectory the
+        analytics layer reconstructs).  Extra keyword scalars are stored
+        verbatim.
+        """
+        if self._closed:
+            raise LedgerError(f"{self.path}: ledger already closed")
+        record: dict = {"step": int(step), "loss": float(loss)}
+        if lr is not None:
+            record["lr"] = float(lr)
+        if wire_bytes is not None and dense_bytes is not None:
+            record["wire_bytes"] = float(wire_bytes)
+            record["dense_bytes"] = float(dense_bytes)
+            record["cr"] = float(dense_bytes) / max(float(wire_bytes), 1.0)
+        if layers:
+            record["layers"] = [[int(i), float(w), float(d)] for i, w, d in layers]
+        if self._cluster is not None:
+            record["sim_time"] = self._cluster.time
+            record["world_size"] = self._cluster.world_size
+        bounds = self._capture_bounds()
+        if bounds is not None:
+            record["bounds"] = bounds
+        overlap = self._capture_overlap()
+        if overlap is not None:
+            record["overlap"] = overlap
+        guard_events = self._capture_guard_events()
+        if guard_events:
+            record["guard_events"] = guard_events
+        spans = self._capture_spans()
+        if spans is not None:
+            record["spans"] = spans
+        metrics = self._capture_metrics()
+        if metrics is not None:
+            record["metrics"] = metrics
+        for key, value in extra.items():
+            record[key] = _scalarize(value)
+        self._steps.append(record)
+        return record
+
+    # -- finalisation ----------------------------------------------------------
+
+    def _final_record(self, final_metric) -> dict:
+        losses = [r["loss"] for r in self._steps]
+        crs = [r["cr"] for r in self._steps if "cr" in r]
+        final: dict = {
+            "steps": len(self._steps),
+            "final_loss": losses[-1] if losses else None,
+            "mean_cr": sum(crs) / len(crs) if crs else None,
+            "total_wire_bytes": sum(r.get("wire_bytes", 0.0) for r in self._steps),
+            "total_dense_bytes": sum(r.get("dense_bytes", 0.0) for r in self._steps),
+        }
+        if self._steps and "sim_time" in self._steps[-1]:
+            final["sim_time"] = self._steps[-1]["sim_time"]
+            final["world_size"] = self._steps[-1]["world_size"]
+        if final_metric is not None:
+            final["final_metric"] = _scalarize(final_metric)
+        overlap = self._capture_overlap()
+        if overlap is not None:
+            final["overlap"] = overlap
+        if self._guard is not None:
+            final["guard"] = self._guard.report()
+        return final
+
+    def close(self, *, final_metric=None) -> Path:
+        """Write the buffered ledger to disk (idempotent on re-close)."""
+        if self._closed:
+            return self.path
+        self._closed = True
+        lines = [json.dumps({"manifest": self._manifest})]
+        lines.extend(json.dumps(r) for r in self._steps)
+        lines.append(json.dumps({"final": self._final_record(final_metric)}))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("\n".join(lines) + "\n")
+        return self.path
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+# -- reading -------------------------------------------------------------------
+
+
+@dataclass
+class RunLedger:
+    """A parsed ledger: manifest + step records + final summary."""
+
+    manifest: dict
+    steps: list[dict] = field(default_factory=list)
+    final: dict = field(default_factory=dict)
+    path: Path | None = None
+
+    def body_text(self) -> str:
+        """Canonical body: every line, manifest timestamp excluded.
+
+        Two runs with the same seed and configuration produce identical
+        body text — this is the determinism contract the tests pin.
+        """
+        manifest = {k: v for k, v in self.manifest.items() if k != "created_unix"}
+        lines = [json.dumps({"manifest": manifest})]
+        lines.extend(json.dumps(r) for r in self.steps)
+        lines.append(json.dumps({"final": self.final}))
+        return "\n".join(lines) + "\n"
+
+    def digest(self) -> str:
+        """SHA-256 over :meth:`body_text` (volatile fields excluded)."""
+        return hashlib.sha256(self.body_text().encode()).hexdigest()
+
+
+def load_ledger(path: str | Path) -> RunLedger:
+    """Parse and validate a ledger written by :class:`LedgerWriter`."""
+    path = Path(path)
+    records = [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+    if not records or "manifest" not in records[0]:
+        raise LedgerError(f"{path}: first record must be the manifest")
+    manifest = records[0]["manifest"]
+    version = manifest.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION:
+        raise LedgerError(
+            f"{path}: schema_version {version!r} is newer than supported {SCHEMA_VERSION}"
+        )
+    if len(records) < 2 or "final" not in records[-1]:
+        raise LedgerError(f"{path}: last record must be the final summary")
+    steps = records[1:-1]
+    for r in steps:
+        if "step" not in r:
+            raise LedgerError(f"{path}: step record without 'step': {r}")
+    return RunLedger(manifest=manifest, steps=steps, final=records[-1]["final"], path=path)

@@ -1,0 +1,251 @@
+"""Render a run ledger as a markdown summary and an HTML dashboard.
+
+Both renderers are pure functions of a :class:`RunLedger`; the HTML is
+fully self-contained (inline CSS + inline SVG charts, no scripts, no
+external assets) so a CI artifact or an emailed file opens anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from repro.obsv.analytics import (
+    bound_series,
+    cr_series,
+    guard_timeline,
+    loss_series,
+    overlap_summary,
+    span_totals,
+    summarize,
+    wire_series,
+)
+from repro.obsv.ledger import RunLedger
+from repro.util.tables import format_table
+
+__all__ = ["render_html", "render_markdown", "write_report"]
+
+
+# -- SVG helpers ---------------------------------------------------------------
+
+_W, _H, _PAD = 520, 140, 28
+
+
+def _svg_line(values: list[float], *, title: str, color: str = "#2563eb") -> str:
+    """One titled SVG line chart (x = step index, y = value)."""
+    if not values:
+        return ""
+    vmin, vmax = min(values), max(values)
+    span = (vmax - vmin) or 1.0
+    n = len(values)
+
+    def x(i: int) -> float:
+        return _PAD + (i / max(n - 1, 1)) * (_W - 2 * _PAD)
+
+    def y(v: float) -> float:
+        return _H - _PAD - ((v - vmin) / span) * (_H - 2 * _PAD)
+
+    points = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(values))
+    return (
+        f'<figure><figcaption>{html.escape(title)}</figcaption>'
+        f'<svg viewBox="0 0 {_W} {_H}" width="{_W}" height="{_H}" role="img">'
+        f'<rect width="{_W}" height="{_H}" fill="#f8fafc"/>'
+        f'<text x="{_PAD}" y="14" class="lim">max {vmax:.5g}</text>'
+        f'<text x="{_PAD}" y="{_H - 8}" class="lim">min {vmin:.5g}</text>'
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.5" points="{points}"/>'
+        f"</svg></figure>"
+    )
+
+
+def _html_table(headers: list[str], rows: list[list]) -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(_fmt(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return format(value, ".6g")
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def _manifest_rows(ledger: RunLedger) -> list[list]:
+    rows = []
+    for key, value in ledger.manifest.items():
+        if key == "created_unix":
+            continue
+        if isinstance(value, dict):
+            value = json.dumps(value, sort_keys=True)
+        rows.append([key, _fmt(value)])
+    return rows
+
+
+# -- markdown ------------------------------------------------------------------
+
+
+def render_markdown(ledger: RunLedger) -> str:
+    """Plain-markdown run summary (manifest, metrics, guard timeline)."""
+    summary = summarize(ledger)
+    lines = [f"# Run report — {ledger.manifest.get('kind', 'run')}", ""]
+    lines.append("## Manifest")
+    lines.append("")
+    for key, value in _manifest_rows(ledger):
+        lines.append(f"- **{key}**: `{value}`")
+    lines.append("")
+    lines.append("## Summary")
+    lines.append("")
+    lines.append("```")
+    lines.append(
+        format_table(
+            ["metric", "value"],
+            [[k, _fmt(v)] for k, v in summary.items()],
+            floatfmt=".6g",
+        )
+    )
+    lines.append("```")
+    bounds = bound_series(ledger)
+    if bounds:
+        stages = []
+        for b in bounds:
+            if not stages or (b["eb_f"], b["eb_q"]) != (stages[-1][1], stages[-1][2]):
+                stages.append((b["step"], b["eb_f"], b["eb_q"]))
+        lines.append("")
+        lines.append("## Error-bound schedule")
+        lines.append("")
+        for step, eb_f, eb_q in stages:
+            lines.append(f"- step {step}: eb_f={_fmt(eb_f)} eb_q={_fmt(eb_q)}")
+    events = guard_timeline(ledger)
+    lines.append("")
+    lines.append("## Guard timeline")
+    lines.append("")
+    if events:
+        for e in events:
+            lines.append(
+                f"- step {e['step']}: verdict `{e.get('verdict')}` → action "
+                f"`{e.get('action')}` (breaker {e.get('breaker_state')})"
+            )
+    else:
+        lines.append("(no remediation fired)")
+    totals = span_totals(ledger)
+    for track, cats in totals.items():
+        lines.append("")
+        lines.append(f"## Span digests — {track} track")
+        lines.append("")
+        lines.append("```")
+        lines.append(
+            format_table(
+                ["category", "spans", "total s", "p50 s", "p95 s", "p99 s"],
+                [
+                    [cat, d["count"], d["total"], d["p50"], d["p95"], d["p99"]]
+                    for cat, d in sorted(cats.items(), key=lambda kv: -kv[1]["total"])
+                ],
+                floatfmt=".6g",
+            )
+        )
+        lines.append("```")
+    return "\n".join(lines) + "\n"
+
+
+# -- HTML ----------------------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem;
+       color: #0f172a; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { border: 1px solid #cbd5e1; padding: .25rem .6rem; text-align: left;
+         font-variant-numeric: tabular-nums; }
+th { background: #f1f5f9; }
+figure { display: inline-block; margin: .5rem 1rem .5rem 0; }
+figcaption { font-weight: 600; margin-bottom: .25rem; }
+svg .lim, text.lim { font: 10px system-ui, sans-serif; fill: #64748b; }
+.ok { color: #15803d; } .bad { color: #b91c1c; }
+"""
+
+
+def render_html(ledger: RunLedger) -> str:
+    """Self-contained HTML dashboard for one run ledger."""
+    summary = summarize(ledger)
+    charts = [_svg_line(loss_series(ledger), title="training loss")]
+    crs = cr_series(ledger)
+    if crs:
+        charts.append(_svg_line(crs, title="compression ratio (dense/wire)", color="#059669"))
+    wire = wire_series(ledger)
+    if wire:
+        charts.append(_svg_line([w / 1e6 for w in wire], title="wire MB per step", color="#d97706"))
+    bounds = bound_series(ledger)
+    if bounds:
+        charts.append(
+            _svg_line([b["eb_q"] for b in bounds], title="quantisation bound eb_q", color="#7c3aed")
+        )
+    hidden = [
+        r["overlap"]["hidden_fraction"] for r in ledger.steps if "overlap" in r
+    ]
+    if hidden:
+        charts.append(_svg_line(hidden, title="cumulative hidden-comm fraction", color="#0891b2"))
+
+    sections = [
+        f"<h1>Run report — {html.escape(str(ledger.manifest.get('kind', 'run')))}</h1>",
+        "<h2>Summary</h2>",
+        _html_table(["metric", "value"], [[k, v] for k, v in summary.items()]),
+        "<h2>Trajectories</h2>",
+        "".join(charts),
+        "<h2>Manifest</h2>",
+        _html_table(["field", "value"], _manifest_rows(ledger)),
+    ]
+    events = guard_timeline(ledger)
+    sections.append("<h2>Guard timeline</h2>")
+    if events:
+        sections.append(
+            _html_table(
+                ["step", "verdict", "action", "breaker"],
+                [
+                    [e["step"], e.get("verdict"), e.get("action"), e.get("breaker_state")]
+                    for e in events
+                ],
+            )
+        )
+    else:
+        sections.append('<p class="ok">no remediation fired</p>')
+    for track, cats in span_totals(ledger).items():
+        sections.append(f"<h2>Span digests — {html.escape(track)} track</h2>")
+        sections.append(
+            _html_table(
+                ["category", "spans", "total s", "p50 s", "p95 s", "p99 s"],
+                [
+                    [cat, d["count"], d["total"], d["p50"], d["p95"], d["p99"]]
+                    for cat, d in sorted(cats.items(), key=lambda kv: -kv[1]["total"])
+                ],
+            )
+        )
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>run report</title><style>{_CSS}</style></head><body>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+def write_report(
+    ledger: RunLedger,
+    *,
+    html_path: str | Path | None = None,
+    md_path: str | Path | None = None,
+) -> list[Path]:
+    """Write the HTML dashboard and/or markdown summary; returns paths."""
+    written: list[Path] = []
+    if html_path is not None:
+        p = Path(html_path)
+        p.write_text(render_html(ledger))
+        written.append(p)
+    if md_path is not None:
+        p = Path(md_path)
+        p.write_text(render_markdown(ledger))
+        written.append(p)
+    return written

@@ -27,8 +27,10 @@ from contextlib import contextmanager
 from typing import NamedTuple
 
 from repro.telemetry.export import (
+    MetricsLog,
     category_fractions,
     chrome_trace,
+    load_metrics_jsonl,
     metrics_jsonl,
     summary_table,
     write_chrome_trace,
@@ -62,6 +64,7 @@ __all__ = [
     "Gauge",
     "HOST_TRACK",
     "Histogram",
+    "MetricsLog",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_TRACER",
@@ -75,6 +78,7 @@ __all__ = [
     "chrome_trace",
     "get_metrics",
     "get_tracer",
+    "load_metrics_jsonl",
     "metrics_jsonl",
     "session",
     "set_metrics",

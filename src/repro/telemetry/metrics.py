@@ -61,9 +61,23 @@ class Gauge:
         return {"type": "gauge", "name": self.name, "labels": self.labels, "value": self.value}
 
 
+#: Sample-buffer size above which a Histogram halves its buffer and
+#: doubles its keep-every-Nth stride (bounded memory, deterministic).
+SAMPLE_CAP = 2048
+
+
 @dataclass
 class Histogram:
-    """Streaming summary: count / sum / min / max / last."""
+    """Streaming summary: count / sum / min / max / last + percentiles.
+
+    Percentiles come from a bounded sample buffer: every ``stride``-th
+    observation is kept, and when the buffer reaches :data:`SAMPLE_CAP`
+    it is halved (every other kept sample survives) and the stride
+    doubles.  The decimation depends only on the observation sequence,
+    never on wall-clock or randomness, so two identical runs produce
+    identical percentile digests.  Below the cap (the common case for
+    per-step trainer metrics) percentiles are exact.
+    """
 
     name: str
     labels: dict = field(default_factory=dict)
@@ -72,6 +86,8 @@ class Histogram:
     vmin: float = float("inf")
     vmax: float = float("-inf")
     last: float = 0.0
+    samples: list = field(default_factory=list)
+    stride: int = 1
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -82,10 +98,25 @@ class Histogram:
             self.vmin = value
         if value > self.vmax:
             self.vmax = value
+        if (self.count - 1) % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= SAMPLE_CAP:
+                self.samples = self.samples[::2]
+                self.stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile (``q`` in [0, 100]) over kept samples."""
+        if not self.samples:
+            return None
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        rank = max(int(-(-q * len(ordered) // 100)), 1)  # ceil, 1-based
+        return ordered[rank - 1]
 
     def snapshot(self) -> dict:
         return {
@@ -98,6 +129,9 @@ class Histogram:
             "max": self.vmax if self.count else None,
             "mean": self.mean,
             "last": self.last,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
         }
 
 
@@ -165,6 +199,10 @@ class _NullInstrument:
     total = 0.0
     mean = 0.0
     last = 0.0
+    samples: tuple = ()
+
+    def percentile(self, q: float) -> None:
+        return None
 
     def inc(self, amount: float = 1.0) -> None:
         pass

@@ -91,6 +91,7 @@ class DistributedSgdTrainer:
         ef_residual_guard: float | None = None,
         runtime=None,
         guard=None,
+        obsv=None,
     ):
         self.model = model
         self.task = task
@@ -120,6 +121,22 @@ class DistributedSgdTrainer:
         if self.guard is not None:
             self.guard.bind(compressor=compressor, trainer=self, cluster=cluster)
             self.guard.attach_runtime(runtime)
+        #: Optional :class:`repro.obsv.LedgerConfig` (or LedgerWriter):
+        #: one canonical run artifact folding metrics, span digests,
+        #: overlap accounting, and guard events.  ``None`` (the default)
+        #: is bit-identical to before — the writer never consumes RNG.
+        from repro.obsv.ledger import as_ledger
+
+        self.obsv = as_ledger(obsv)
+        if self.obsv is not None:
+            self.obsv.bind(
+                kind="sgd",
+                trainer=self,
+                cluster=cluster,
+                runtime=runtime,
+                guard=self.guard,
+                compressor=compressor,
+            )
 
     def _flat_grad(self) -> np.ndarray:
         return np.concatenate([p.grad.ravel() for p in self.model.parameters()])
@@ -164,10 +181,13 @@ class DistributedSgdTrainer:
 
     def _local_grads(
         self, shards: list[np.ndarray], tracer
-    ) -> tuple[list[float], list[np.ndarray]]:
-        """Per-shard forward/backward; returns (losses, per-rank grads)."""
+    ) -> tuple[list[float], list[np.ndarray], float, float]:
+        """Per-shard forward/backward; returns (losses, per-rank grads,
+        wire bytes, dense bytes)."""
         per_rank_grads: list[np.ndarray] = []
         losses: list[float] = []
+        wire = 0.0
+        dense = 0.0
         guard = self.guard
         compressor = self.compressor if guard is None else guard.active(self.compressor)
         for r, idx in enumerate(shards):
@@ -182,6 +202,8 @@ class DistributedSgdTrainer:
             if compressor is not None:
                 ct = compressor.compress(g)
                 self.history.compression_ratios.append(g.nbytes / ct.nbytes)
+                wire += ct.nbytes
+                dense += g.nbytes
                 decoded = compressor.decompress(ct).ravel()
                 if guard is not None and r == 0:
                     # One shard per step is enough to catch a broken
@@ -190,7 +212,7 @@ class DistributedSgdTrainer:
                 g = decoded
             per_rank_grads.append(g)
             losses.append(loss)
-        return losses, per_rank_grads
+        return losses, per_rank_grads, wire, dense
 
     def _trimmed_shards(self, global_idx: np.ndarray) -> list[np.ndarray]:
         world = self.cluster.world_size
@@ -210,7 +232,7 @@ class DistributedSgdTrainer:
         if guard is not None:
             guard.begin_step(self.t)
         shards = self._trimmed_shards(global_idx)
-        losses, per_rank_grads = self._local_grads(shards, tracer)
+        losses, per_rank_grads, wire, dense = self._local_grads(shards, tracer)
         if self.runtime is not None:
             reduced0 = self._bucketed_allreduce(per_rank_grads, len(shards[0]), tracer)
         else:
@@ -240,6 +262,16 @@ class DistributedSgdTrainer:
             m.gauge("train.loss").set(mean_loss)
             m.counter("train.steps").inc()
             m.record_step(self.t, sim_time=self.cluster.time)
+        if self.obsv is not None:
+            self.obsv.record_step(
+                self.t,
+                loss=mean_loss,
+                lr=self.optimizer.lr,
+                # 0.0 means the step travelled uncompressed (no compressor,
+                # or circuit breaker open) — record no wire accounting.
+                wire_bytes=wire or None,
+                dense_bytes=dense or None,
+            )
         self.t += 1
         if guard is not None:
             guard.end_step(loss=mean_loss, grad_norm=grad_norm)
@@ -284,10 +316,14 @@ class DistributedSgdTrainer:
         return reduced
 
     def train(self, *, iterations: int, batch_size: int, eval_every: int = 0, seed: int = 0):
+        if self.obsv is not None:
+            self.obsv.update_manifest(seed=seed, iterations=iterations, batch_size=batch_size)
         for t, idx in enumerate(
             batch_indices(self.task.n, batch_size, iterations=iterations, seed=seed)
         ):
             self.step(idx)
             if eval_every and (t + 1) % eval_every == 0:
                 self.history.metrics.append((t + 1, self.task.evaluate(self.model)))
+        if self.obsv is not None:
+            self.obsv.close(final_metric=self.history.final_metric())
         return self.history

@@ -26,9 +26,12 @@ from repro.telemetry import (
     chrome_trace,
     get_metrics,
     get_tracer,
+    load_metrics_jsonl,
     metrics_jsonl,
     summary_table,
+    write_metrics_jsonl,
 )
+from repro.telemetry.metrics import SAMPLE_CAP
 from repro.train import ClassificationTask
 
 
@@ -200,6 +203,60 @@ class TestMetrics:
         assert snaps[1]["metrics"][0]["value"] == 2.0
         assert snaps[1]["sim_time"] == 0.5
 
+    def test_histogram_percentiles_exact_below_cap(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 101):  # 1..100, shuffled order must not matter
+            h.observe(float(101 - v))
+        assert h.percentile(50.0) == 50.0
+        assert h.percentile(95.0) == 95.0
+        assert h.percentile(99.0) == 99.0
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(100.0) == 100.0
+
+    def test_histogram_percentile_validation_and_empty(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.percentile(50.0) is None
+        h.observe(3.0)
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1.0)
+        # Single observation: every percentile is that value.
+        assert h.percentile(1.0) == h.percentile(99.0) == 3.0
+
+    def test_histogram_decimation_bounded_and_deterministic(self):
+        def fill(n):
+            h = MetricsRegistry().histogram("h")
+            for v in range(n):
+                h.observe(float(v))
+            return h
+
+        n = SAMPLE_CAP * 5
+        a, b = fill(n), fill(n)
+        assert len(a.samples) < SAMPLE_CAP
+        assert a.stride > 1
+        assert a.samples == b.samples and a.stride == b.stride
+        assert (a.count, a.total) == (n, sum(range(n)))
+        # Decimated percentiles stay close to the exact ones.
+        assert a.percentile(50.0) == pytest.approx(n / 2, rel=0.05)
+        assert a.percentile(99.0) == pytest.approx(0.99 * n, rel=0.05)
+
+    def test_histogram_snapshot_has_percentiles(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", op="x")
+        for v in (5.0, 1.0, 9.0, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4 and snap["sum"] == 18.0
+        assert snap["p50"] == 3.0
+        assert snap["p95"] == snap["p99"] == 9.0
+
+    def test_null_histogram_percentile(self):
+        h = NULL_METRICS.histogram("h")
+        h.observe(1.0)
+        assert h.percentile(50.0) is None
+        assert h.samples == ()
+
     def test_jsonl_parses(self):
         m = MetricsRegistry()
         m.counter("c", op="x").inc(3)
@@ -214,6 +271,40 @@ class TestMetrics:
             "labels": {"op": "x"},
             "value": 3.0,
         }
+
+    def test_jsonl_roundtrip_lossless(self, tmp_path):
+        m = MetricsRegistry()
+        # Multi-label instruments exercise label ordering; a histogram
+        # exercises the nested percentile fields.
+        m.counter("wire", op="allgather", layer="0").inc(7)
+        m.gauge("train.loss").set(0.5)
+        h = m.histogram("cr", phase="aggressive")
+        for v in (22.0, 19.5, 24.0):
+            h.observe(v)
+        m.record_step(0, sim_time=0.25)
+        m.counter("wire", op="allgather", layer="0").inc(1)
+        m.record_step(1, sim_time=0.5)
+        path = write_metrics_jsonl(m, tmp_path / "metrics.jsonl")
+        original = path.read_text()
+        log = load_metrics_jsonl(path)
+        # Byte-exact export -> load -> export round trip.
+        assert log.dumps() == original == metrics_jsonl(m)
+        assert [r["step"] for r in log.steps] == [0, 1]
+        assert log.final["final"] is True
+        assert any(f["name"] == "cr" for f in log.final_metrics())
+        assert log.series("train.loss") == [(0, 0.5), (1, 0.5)]
+        # And the re-serialised file loads identically once more.
+        (tmp_path / "again.jsonl").write_text(log.dumps())
+        assert load_metrics_jsonl(tmp_path / "again.jsonl").dumps() == original
+
+    def test_load_jsonl_rejects_malformed(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"step": 0}\n')  # no final record
+        with pytest.raises(ValueError):
+            load_metrics_jsonl(p)
+        p.write_text('{"loss": 1.0}\n{"final": true}\n')  # step without "step"
+        with pytest.raises(ValueError):
+            load_metrics_jsonl(p)
 
 
 class TestInstrumentation:
