@@ -36,6 +36,7 @@ __all__ = [
     "distributed",
     "runtime",
     "kfac_dist",
+    "fleet",
     "gpusim",
     "faults",
     "guard",

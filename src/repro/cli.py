@@ -24,6 +24,9 @@ Commands:
   dashboard plus a markdown summary;
 * ``diff`` — compare two ledgers under per-metric tolerance bands and
   exit non-zero on regression (the CI perf gate);
+* ``fleet`` — time-share the simulated fabric between a fleet of
+  concurrent training jobs on the representative-rank timing track,
+  reporting per-job contention, slowdown, and peak payload memory;
 * ``experiments`` — list the paper's tables/figures and their benches.
 """
 
@@ -431,6 +434,39 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetScheduler, preset_specs
+
+    specs = preset_specs(args.preset)
+    scheduler = FleetScheduler(specs, ledger_dir=args.out)
+    result = scheduler.run()
+    header = (
+        f"{'job':8s} {'world':>6s} {'prio':>5s} {'steps':>5s} {'sim_s':>9s} "
+        f"{'fleet_end':>9s} {'contended':>9s} {'slowdown':>8s} {'peak_B':>9s} {'loss':>8s}"
+    )
+    print(f"fleet preset={args.preset}: {len(specs)} jobs on shared fabric")
+    print(header)
+    for r in result.reports:
+        print(
+            f"{r.name:8s} {r.world_size:6d} {r.priority:5.1f} {r.steps:5d} "
+            f"{r.sim_time:9.4f} {r.fleet_end:9.4f} {r.contended_seconds:9.4f} "
+            f"{r.slowdown:8.3f} {r.peak_payload_bytes:9.0f} {r.final_loss:8.4f}"
+        )
+    print(
+        f"makespan {result.makespan:.4f}s, "
+        f"total contended {result.total_contended_seconds:.4f}s"
+    )
+    if args.out:
+        print(f"per-job ledgers in {args.out}/")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(result.to_dict(), f, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[0]) for e in _EXPERIMENTS)
     for tag, desc, bench in _EXPERIMENTS:
@@ -540,6 +576,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", default="", help="write the diff result as JSON to this path")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run a multi-job fleet on the shared simulated fabric",
+    )
+    p.add_argument(
+        "--preset",
+        choices=["smoke", "scale"],
+        default="smoke",
+        help="job mix: smoke (3 small jobs, CI-gated) or scale (10 jobs at 1k-4k ranks)",
+    )
+    p.add_argument("--out", default=None, help="directory for per-job ledgers")
+    p.add_argument("--json", default=None, help="also dump the fleet result as JSON")
+    p.set_defaults(func=cmd_fleet)
 
     sub.add_parser("experiments", help="list paper artefacts and benches").set_defaults(
         func=cmd_experiments

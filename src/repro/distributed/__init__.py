@@ -6,7 +6,7 @@ DESIGN.md's substitution table for why this preserves the paper's
 communication results.
 """
 
-from repro.distributed.clock import SimClock
+from repro.distributed.clock import SimClock, VirtualClock, VirtualClockPlane
 from repro.distributed.cluster import SimCluster, SimRank
 from repro.distributed.collectives import (
     COLLECTIVE_COSTS,
@@ -25,11 +25,17 @@ from repro.distributed.network import (
     NetworkSpec,
     Platform,
 )
+from repro.distributed.plane import RepView, map_payloads, payload_nbytes
 
 __all__ = [
     "SimClock",
+    "VirtualClock",
+    "VirtualClockPlane",
     "SimCluster",
     "SimRank",
+    "RepView",
+    "map_payloads",
+    "payload_nbytes",
     "NetworkSpec",
     "Platform",
     "PLATFORM1",

@@ -20,22 +20,33 @@ alpha-beta network parameters, payload copies can be bit-flipped or
 dropped, and scheduled rank failures shrink the active world at
 iteration boundaries.  Without a plan (or with an empty one) every code
 path is bit-identical to the fault-free build.
+
+Two tracks (DESIGN.md decision 8):
+
+* ``track="convergence"`` (the default) — the behaviour described above,
+  bit-identical to the seed: full per-rank payloads, one
+  :class:`SimClock` per rank.
+* ``track="timing"`` — the representative-rank scheme behind
+  :mod:`repro.fleet`: per-rank payloads are assumed identical (the
+  trainers' data-parallel symmetry), so collectives compute time from
+  ONE real payload and hand back a :class:`~repro.distributed.plane.RepView`;
+  clocks live in a shared :class:`VirtualClockPlane`.  Payload memory
+  and per-collective CPU are O(1) in world size, while every modelled
+  second is computed by the exact same alpha-beta formulas as the
+  convergence track.  Data-plane faults (payload corruption, dropped
+  contributions) are rejected — they are per-rank by nature and have no
+  representative; time-plane faults (stragglers, jitter, degradation,
+  failures) compose normally.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.distributed.clock import SimClock
-from repro.distributed.collectives import (
-    allgather_time,
-    allreduce_time,
-    broadcast_time,
-    reduce_scatter_time,
-)
+from repro.distributed.clock import SimClock, VirtualClock, VirtualClockPlane
+from repro.distributed.collectives import COLLECTIVE_COSTS
 from repro.distributed.network import PLATFORM1, NetworkSpec, Platform
+from repro.distributed.plane import RepView, payload_nbytes
 from repro.faults.controller import FaultController
 from repro.faults.plan import FailureEvent, FaultPlan
 from repro.telemetry import SIM_TRACK, get_metrics, get_tracer
@@ -44,14 +55,28 @@ from repro.util.seeding import rng_for_rank
 __all__ = ["SimRank", "SimCluster"]
 
 
-@dataclass
 class SimRank:
-    """One simulated GPU worker."""
+    """One simulated GPU worker.
 
-    rank: int
-    node: int
-    clock: SimClock
-    rng: np.random.Generator
+    The per-rank RNG is created lazily: a 16k-rank timing cluster never
+    draws per-rank randomness, so spawning 16k generators up front would
+    be pure construction overhead.
+    """
+
+    __slots__ = ("rank", "node", "clock", "_rng", "_seed")
+
+    def __init__(self, rank: int, node: int, clock, rng=None, *, seed: int = 0):
+        self.rank = rank
+        self.node = node
+        self.clock = clock
+        self._rng = rng
+        self._seed = seed
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = rng_for_rank(self._seed, self.rank)
+        return self._rng
 
 
 class SimCluster:
@@ -66,33 +91,116 @@ class SimCluster:
         platform: Platform | None = None,
         seed: int = 0,
         fault_plan: FaultPlan | None = None,
+        track: str = "convergence",
+        payloads: str | None = None,
     ):
         if platform is not None:
             network = platform.network
             gpus_per_node = platform.gpus_per_node
+        if not isinstance(n_nodes, int) or isinstance(n_nodes, bool) or n_nodes < 1:
+            raise ValueError(f"n_nodes must be a positive integer, got {n_nodes!r}")
+        if (
+            not isinstance(gpus_per_node, int)
+            or isinstance(gpus_per_node, bool)
+            or gpus_per_node < 1
+        ):
+            raise ValueError(
+                f"gpus_per_node must be a positive integer, got {gpus_per_node!r}"
+            )
+        if track not in ("convergence", "timing"):
+            raise ValueError(f"track must be 'convergence' or 'timing', got {track!r}")
+        if payloads is None:
+            payloads = "full" if track == "convergence" else "representative"
+        if payloads not in ("full", "representative"):
+            raise ValueError(f"payloads must be 'full' or 'representative', got {payloads!r}")
+        if track == "convergence" and payloads == "representative":
+            raise ValueError(
+                "representative payloads require track='timing': the convergence "
+                "track's contract is full per-rank payloads, bit-identical to MPI"
+            )
         self.platform = platform
         self._network = network if network is not None else PLATFORM1.network
         self.n_nodes = n_nodes
         self.gpus_per_node = gpus_per_node
+        self.track = track
+        self.payloads = payloads
         world = n_nodes * gpus_per_node
-        if world < 1:
-            raise ValueError("cluster must have at least one rank")
-        self.ranks = [
-            SimRank(r, r // gpus_per_node, SimClock(), rng_for_rank(seed, r))
-            for r in range(world)
-        ]
+        self._plane: VirtualClockPlane | None = (
+            VirtualClockPlane(world) if track == "timing" else None
+        )
+        if self._plane is not None:
+            self.ranks = [
+                SimRank(r, r // gpus_per_node, VirtualClock(self._plane, r), seed=seed)
+                for r in range(world)
+            ]
+        else:
+            self.ranks = [
+                SimRank(r, r // gpus_per_node, SimClock(), seed=seed) for r in range(world)
+            ]
         #: Ranks permanently lost to scheduled failures (clocks frozen).
         self.lost_ranks: list[SimRank] = []
+        #: Optional fabric-contention hook ``(op, start, seconds) -> seconds``;
+        #: the fleet scheduler installs one so concurrent jobs slow each
+        #: other's collectives.  ``None`` (the default) is bit-identical
+        #: to the uncontended cluster.
+        self.contention = None
+        #: Largest payload set (bytes) any single collective materialised —
+        #: per-rank buffers on the full-payload path, one buffer on the
+        #: representative path.  The fleet CI asserts this stays flat as
+        #: the timing-track world grows.
+        self.peak_payload_bytes = 0.0
         # An empty plan must behave exactly like no plan, so it is
         # discarded here rather than special-cased on every hot path.
         self.faults: FaultController | None = None
         if fault_plan is not None and not fault_plan.is_empty():
+            if track == "timing" and (fault_plan.corruptions or fault_plan.drops):
+                raise ValueError(
+                    "timing track cannot run data-plane faults (corruptions/drops): "
+                    "they are per-rank effects with no representative payload; use "
+                    "the convergence track or a time-plane-only plan"
+                )
             self.faults = FaultController(fault_plan, world)
+
+    @classmethod
+    def from_world_size(
+        cls, world_size: int, gpus_per_node: int = 4, **kwargs
+    ) -> "SimCluster":
+        """Build a cluster from a total rank count.
+
+        A world smaller than one full node becomes a single partial node;
+        anything else must divide evenly into ``gpus_per_node``-GPU nodes.
+        """
+        if not isinstance(world_size, int) or isinstance(world_size, bool) or world_size < 1:
+            raise ValueError(f"world_size must be a positive integer, got {world_size!r}")
+        if (
+            not isinstance(gpus_per_node, int)
+            or isinstance(gpus_per_node, bool)
+            or gpus_per_node < 1
+        ):
+            raise ValueError(
+                f"gpus_per_node must be a positive integer, got {gpus_per_node!r}"
+            )
+        local = min(world_size, gpus_per_node)
+        if world_size % local:
+            raise ValueError(
+                f"world_size {world_size} does not divide into {gpus_per_node}-GPU nodes"
+            )
+        return cls(world_size // local, local, **kwargs)
 
     @property
     def world_size(self) -> int:
         """Number of *live* ranks (shrinks when scheduled failures fire)."""
         return len(self.ranks)
+
+    @property
+    def is_timing(self) -> bool:
+        """True on the representative-rank timing track."""
+        return self.track == "timing"
+
+    @property
+    def representative(self) -> bool:
+        """True when collectives return :class:`RepView`s, not per-rank lists."""
+        return self.payloads == "representative"
 
     @property
     def network(self) -> NetworkSpec:
@@ -168,8 +276,47 @@ class SimCluster:
         Active stragglers/jitter add per-rank ``fault_delay`` time on top
         of the collective; the slowed rank pays immediately and everyone
         else pays at the next barrier, exactly like a real straggler.
+
+        Timing track: the same barrier semantics run through the sparse
+        :class:`VirtualClockPlane` in O(#skewed ranks), and tracing emits
+        one span per collective instead of one per rank (the per-rank
+        span-reconciliation invariant is a convergence-track guarantee).
         """
         tracer = get_tracer()
+        if self._plane is not None:
+            plane = self._plane
+            extras: dict[int, float] = {}
+            if self.faults is not None:
+                extras = self.faults.collective_extras(
+                    op or category, seconds, [r.rank for r in self.ranks]
+                )
+            start = plane.max_now
+            plane.barrier("wait")
+            plane.advance_all(seconds, category)
+            if tracer.enabled:
+                tracer.add_span(
+                    op or category,
+                    category,
+                    seconds,
+                    start=start,
+                    track=SIM_TRACK,
+                    rank="*",
+                    **attrs,
+                )
+            for rank_id, extra in extras.items():
+                if extra > 0.0:
+                    plane.advance_rank(rank_id, extra, "fault_delay")
+                    if tracer.enabled:
+                        tracer.add_span(
+                            "fault_delay",
+                            "fault_delay",
+                            extra,
+                            start=start + seconds,
+                            track=SIM_TRACK,
+                            rank=rank_id,
+                            op=op or category,
+                        )
+            return
         extras: dict[int, float] = {}
         if self.faults is not None:
             extras = self.faults.collective_extras(
@@ -228,6 +375,14 @@ class SimCluster:
     def advance_all(self, seconds: float, category: str) -> None:
         """Advance every rank's clock (e.g. perfectly parallel compute)."""
         tracer = get_tracer()
+        if self._plane is not None:
+            start = self._plane.base
+            self._plane.advance_all(seconds, category)
+            if tracer.enabled:
+                tracer.add_span(
+                    category, category, seconds, start=start, track=SIM_TRACK, rank="*"
+                )
+            return
         for r in self.ranks:
             if tracer.enabled:
                 tracer.add_span(
@@ -251,10 +406,14 @@ class SimCluster:
     @property
     def time(self) -> float:
         """Simulated wall-clock: the slowest rank's time."""
+        if self._plane is not None:
+            return self._plane.max_now
         return max(r.clock.now for r in self.ranks)
 
     def breakdown(self) -> dict[str, float]:
         """Mean per-rank time per category (ranks are near-symmetric)."""
+        if self._plane is not None:
+            return self._plane.breakdown()
         out: dict[str, float] = {}
         for r in self.ranks:
             for cat, t in r.clock.breakdown().items():
@@ -262,8 +421,28 @@ class SimCluster:
         return out
 
     def reset_clocks(self) -> None:
+        if self._plane is not None:
+            self._plane.reset()
+            return
         for r in self.ranks:
             r.clock.reset()
+
+    # -- collective pricing ---------------------------------------------------
+
+    def collective_seconds(self, op: str, nbytes: float) -> float:
+        """Alpha-beta seconds for one collective on the current fabric.
+
+        The single pricing point both the blocking collectives and the
+        runtime engine call — which is what keeps blocking and overlapped
+        execution bit-identical in modelled time, and gives the fleet's
+        contention hook one place to stretch transfers.
+        """
+        seconds = COLLECTIVE_COSTS[op](
+            self.network, self.world_size, nbytes, self.gpus_per_node
+        )
+        if self.contention is not None and seconds > 0.0:
+            seconds = self.contention(op, self.time, seconds)
+        return seconds
 
     # -- data-plane collectives ----------------------------------------------
     #
@@ -273,20 +452,57 @@ class SimCluster:
     # helpers, which is what makes the overlapped execution path
     # bit-identical to the blocking one: only the clocks differ.
 
-    def _check(self, arrays: list[np.ndarray]) -> None:
+    def _check(self, arrays) -> None:
         if len(arrays) != self.world_size:
             raise ValueError(
                 f"expected {self.world_size} per-rank arrays, got {len(arrays)}"
             )
 
-    def _reduce_data(self, arrays: list[np.ndarray], op: str, *, average: bool) -> np.ndarray:
+    def _note_payload(self, nbytes: float) -> None:
+        if nbytes > self.peak_payload_bytes:
+            self.peak_payload_bytes = nbytes
+
+    def replicate(self, value, *, copy: bool = True):
+        """Per-rank view of one representative value.
+
+        Representative payloads: an O(1) :class:`RepView`.  Full
+        payloads: a real per-rank list (``copy=True`` hands each rank an
+        independent array buffer, matching what per-rank computation
+        would have produced).
+        """
+        if self.representative:
+            return RepView(value, self.world_size)
+        if copy and isinstance(value, np.ndarray):
+            return [value.copy() for _ in range(self.world_size)]
+        return [value for _ in range(self.world_size)]
+
+    def _replicate_result(self, result: np.ndarray):
+        """Per-rank copies of a collective's result (shared view when
+        representative); also the output half of payload accounting."""
+        if self.representative:
+            self._note_payload(result.nbytes)
+            return RepView(result, self.world_size)
+        self._note_payload(result.nbytes * self.world_size)
+        return [result.copy() for _ in range(self.world_size)]
+
+    def _reduce_data(self, arrays, op: str, *, average: bool) -> np.ndarray:
         """Shared reduction math for (i)allreduce / (i)reduce_scatter.
 
         A rank hit by a :class:`~repro.faults.plan.DroppedContribution`
         fault is excluded from the sum and the averaging denominator —
         the collective gracefully degrades to the surviving contributors.
+
+        Timing track: per-rank payloads are identical by contract, so
+        the average IS payload 0 and the sum is payload 0 scaled by the
+        contributor count — both exact in floating point, which is what
+        makes the "full" and "representative" payload modes bit-equal
+        (a loop-sum of ``w`` identical floats divided by ``w`` is not).
         """
         self._check(arrays)
+        self._note_payload(payload_nbytes(arrays))
+        if self.is_timing:
+            base = np.asarray(arrays[0], dtype=np.float64)
+            return base.copy() if average else base * float(self.world_size)
         skip: set[int] = set()
         if self.faults is not None:
             dropped = self.faults.dropped_ranks(op, [r.rank for r in self.ranks])
@@ -315,7 +531,7 @@ class SimCluster:
         total = self._reduce_data(arrays, "allreduce", average=average)
         result = total.astype(np.asarray(arrays[0]).dtype)
         wire = result.nbytes if nbytes is None else nbytes
-        seconds = allreduce_time(self.network, self.world_size, wire, self.gpus_per_node)
+        seconds = self.collective_seconds("allreduce", wire)
         self._record_collective("allreduce", seconds, result.nbytes, wire)
         self._barrier_and_advance(
             seconds,
@@ -324,7 +540,7 @@ class SimCluster:
             nbytes_raw=result.nbytes,
             nbytes_wire=wire,
         )
-        return [result.copy() for _ in range(self.world_size)]
+        return self._replicate_result(result)
 
     def allgather(
         self,
@@ -340,12 +556,14 @@ class SimCluster:
         object size); defaults to the max ``nbytes`` of NumPy payloads.
         """
         self._check(objects)
-        raw_sizes = [o.nbytes for o in objects if isinstance(o, np.ndarray)]
+        if isinstance(objects, RepView):
+            first = objects.payload
+            raw_sizes = [first.nbytes] if isinstance(first, np.ndarray) else []
+        else:
+            raw_sizes = [o.nbytes for o in objects if isinstance(o, np.ndarray)]
         if nbytes_per_rank is None:
             nbytes_per_rank = max(raw_sizes) if raw_sizes else 0.0
-        seconds = allgather_time(
-            self.network, self.world_size, nbytes_per_rank, self.gpus_per_node
-        )
+        seconds = self.collective_seconds("allgather", nbytes_per_rank)
         raw = max(raw_sizes) if raw_sizes else nbytes_per_rank
         self._record_collective(
             "allgather", seconds, raw * self.world_size, nbytes_per_rank * self.world_size
@@ -359,18 +577,30 @@ class SimCluster:
         )
         return self._inject_allgather_faults(self._allgather_data(objects))
 
-    def _allgather_data(self, objects: list[object]) -> list[list[object]]:
+    def _allgather_data(self, objects):
         # Real MPI allgather copies every contribution into each rank's
         # recvbuf; hand out per-rank copies of array payloads so an
         # in-place mutation on one simulated rank cannot leak into others.
+        if self.representative:
+            # One gathered row stands in for every rank's recvbuf; the
+            # row itself is O(1) when the contributions were identical.
+            first = objects.payload if isinstance(objects, RepView) else objects[0]
+            self._note_payload(float(getattr(first, "nbytes", 0.0)))
+            row = objects if isinstance(objects, RepView) else RepView(first, self.world_size)
+            return RepView(row, self.world_size)
+        self._note_payload(payload_nbytes(objects) * self.world_size)
         return [
             [o.copy() if isinstance(o, np.ndarray) else o for o in objects]
             for _ in self.ranks
         ]
 
-    def _inject_allgather_faults(self, out: list[list[object]]) -> list[list[object]]:
-        """Receiver-side corruption pass over freshly gathered copies."""
-        if self.faults is not None:
+    def _inject_allgather_faults(self, out):
+        """Receiver-side corruption pass over freshly gathered copies.
+
+        Skipped on the timing track: corruption plans are rejected at
+        construction there, so the pass would be a per-rank no-op loop.
+        """
+        if self.faults is not None and not self.is_timing:
             for pos, receiver in enumerate(self.ranks):
                 copies = out[pos]
                 for src in range(len(copies)):
@@ -403,7 +633,7 @@ class SimCluster:
         raw = obj.nbytes if isinstance(obj, np.ndarray) else 0.0
         if nbytes is None:
             nbytes = raw
-        seconds = broadcast_time(self.network, self.world_size, nbytes, self.gpus_per_node)
+        seconds = self.collective_seconds("broadcast", nbytes)
         self._record_collective("broadcast", seconds, raw, nbytes)
         self._barrier_and_advance(
             seconds,
@@ -415,18 +645,25 @@ class SimCluster:
         )
         return self._inject_broadcast_faults(self._broadcast_data(obj, root), root)
 
-    def _broadcast_data(self, obj: object, root: int) -> list[object]:
+    def _broadcast_data(self, obj: object, root: int):
         # The root keeps its own buffer (MPI semantics); every other rank
         # receives a private copy of array payloads, so in-place edits on
         # one simulated rank cannot alias into the rest.
+        if self.representative:
+            self._note_payload(float(getattr(obj, "nbytes", 0.0)))
+            return RepView(obj, self.world_size)
+        self._note_payload(float(getattr(obj, "nbytes", 0.0)) * self.world_size)
         return [
             obj if r == root or not isinstance(obj, np.ndarray) else obj.copy()
             for r in range(self.world_size)
         ]
 
-    def _inject_broadcast_faults(self, out: list[object], root: int) -> list[object]:
-        """Receiver-side corruption pass over freshly broadcast copies."""
-        if self.faults is not None:
+    def _inject_broadcast_faults(self, out, root: int):
+        """Receiver-side corruption pass over freshly broadcast copies.
+
+        Skipped on the timing track (corruption plans are rejected there).
+        """
+        if self.faults is not None and not self.is_timing:
             for pos, receiver in enumerate(self.ranks):
                 if pos == root:
                     continue  # the sender's buffer never crosses the wire
@@ -450,7 +687,7 @@ class SimCluster:
         flat = total.ravel()
         chunks = np.array_split(flat, p)
         wire = total.nbytes if nbytes is None else nbytes
-        seconds = reduce_scatter_time(self.network, p, wire, self.gpus_per_node)
+        seconds = self.collective_seconds("reduce_scatter", wire)
         self._record_collective("reduce_scatter", seconds, total.nbytes, wire)
         self._barrier_and_advance(
             seconds,

@@ -10,6 +10,11 @@ network of :mod:`repro.distributed.network`:
 
 These feed both the simulated per-rank clocks and the performance model's
 offline lookup table (section 4.4).
+
+``gpus_per_node`` is required on every cost function: the topology term
+must come from the caller's actual cluster (``SimCluster.gpus_per_node``
+or ``Platform.gpus_per_node``), never from a silent default that could
+disagree with the configured machine.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ def _params(net: NetworkSpec, p: int, gpus_per_node: int) -> tuple[float, float]
     return net.latency(p, gpus_per_node), net.effective_bandwidth(p, gpus_per_node)
 
 
-def allreduce_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int = 4) -> float:
+def allreduce_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int) -> float:
     """Ring allreduce of ``nbytes`` across ``p`` ranks."""
     if p <= 1 or nbytes <= 0:
         return 0.0
@@ -39,7 +44,7 @@ def allreduce_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int =
     return 2 * (p - 1) * alpha + 2 * (p - 1) / p * nbytes / beta
 
 
-def allgather_time(net: NetworkSpec, p: int, nbytes_per_rank: float, gpus_per_node: int = 4) -> float:
+def allgather_time(net: NetworkSpec, p: int, nbytes_per_rank: float, gpus_per_node: int) -> float:
     """Ring allgather where each rank contributes ``nbytes_per_rank``."""
     if p <= 1 or nbytes_per_rank <= 0:
         return 0.0
@@ -47,7 +52,7 @@ def allgather_time(net: NetworkSpec, p: int, nbytes_per_rank: float, gpus_per_no
     return (p - 1) * alpha + (p - 1) * nbytes_per_rank / beta
 
 
-def broadcast_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int = 4) -> float:
+def broadcast_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int) -> float:
     """Binomial-tree broadcast of ``nbytes`` from one rank to all."""
     if p <= 1 or nbytes <= 0:
         return 0.0
@@ -56,7 +61,7 @@ def broadcast_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int =
     return hops * (alpha + nbytes / beta)
 
 
-def reduce_scatter_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int = 4) -> float:
+def reduce_scatter_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int) -> float:
     """Ring reduce-scatter of ``nbytes`` across ``p`` ranks."""
     if p <= 1 or nbytes <= 0:
         return 0.0
@@ -64,7 +69,7 @@ def reduce_scatter_time(net: NetworkSpec, p: int, nbytes: float, gpus_per_node: 
     return (p - 1) * alpha + (p - 1) / p * nbytes / beta
 
 
-def alltoall_time(net: NetworkSpec, p: int, nbytes_per_pair: float, gpus_per_node: int = 4) -> float:
+def alltoall_time(net: NetworkSpec, p: int, nbytes_per_pair: float, gpus_per_node: int) -> float:
     """Pairwise-exchange all-to-all; each rank sends ``nbytes_per_pair``
     to every other rank ((p-1) rounds of alpha + n/beta)."""
     if p <= 1 or nbytes_per_pair <= 0:
@@ -74,7 +79,7 @@ def alltoall_time(net: NetworkSpec, p: int, nbytes_per_pair: float, gpus_per_nod
 
 
 def hierarchical_allreduce_time(
-    net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int = 4
+    net: NetworkSpec, p: int, nbytes: float, gpus_per_node: int
 ) -> float:
     """Two-level allreduce: NVLink ring within each node, fabric ring
     across node leaders, NVLink broadcast back.  Beats the flat ring when

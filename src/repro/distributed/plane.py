@@ -1,0 +1,77 @@
+"""Representative-rank payload views for the timing track.
+
+On the convergence track every collective materialises one payload per
+rank — honest, bit-identical to MPI, and O(world) memory.  The timing
+track exploits the data-parallel symmetry the trainers already have
+(after an allreduce/broadcast every rank holds the same bytes): one
+*representative* payload stands in for all ranks, wrapped in a
+:class:`RepView` so per-rank-list call sites keep working unchanged.
+
+A :class:`RepView` is a read-only sequence of length ``world`` whose
+every element is the *same* payload object.  Callers must treat the
+elements as read-only — an in-place mutation through index 0 is visible
+at every other index, which is exactly the aliasing the convergence
+track's per-rank copies exist to prevent.  That trade is the
+representative-rank contract (see DESIGN.md decision 8).
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import Callable
+
+__all__ = ["RepView", "map_payloads", "payload_nbytes"]
+
+
+class RepView:
+    """O(1) stand-in for ``world`` identical per-rank payloads."""
+
+    __slots__ = ("payload", "world")
+
+    def __init__(self, payload, world: int):
+        if world < 1:
+            raise ValueError(f"world must be positive, got {world}")
+        self.payload = payload
+        self.world = world
+
+    def __len__(self) -> int:
+        return self.world
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return RepView(self.payload, len(range(*index.indices(self.world))))
+        if not -self.world <= index < self.world:
+            raise IndexError(f"rank index {index} out of range for world {self.world}")
+        return self.payload
+
+    def __iter__(self):
+        return repeat(self.payload, self.world)
+
+    def __repr__(self) -> str:
+        return f"RepView(world={self.world}, payload={type(self.payload).__name__})"
+
+    def map(self, fn: Callable) -> "RepView":
+        """A new view whose payload is ``fn(payload)`` — the O(1)
+        equivalent of mapping ``fn`` over every rank's element."""
+        return RepView(fn(self.payload), self.world)
+
+
+def map_payloads(payloads, fn: Callable):
+    """Apply ``fn`` per rank: O(1) on a :class:`RepView`, a list
+    comprehension on a real per-rank list.  The workhorse that lets one
+    trainer code path (bucket slicing, compression) serve both tracks."""
+    if isinstance(payloads, RepView):
+        return payloads.map(fn)
+    return [fn(p) for p in payloads]
+
+
+def payload_nbytes(payloads) -> float:
+    """Bytes actually resident for a per-rank payload set.
+
+    A :class:`RepView` holds one buffer regardless of world size; a real
+    list holds one per rank.  Feeds ``SimCluster.peak_payload_bytes``,
+    the number the fleet CI asserts stays flat as the world grows.
+    """
+    if isinstance(payloads, RepView):
+        return float(getattr(payloads.payload, "nbytes", 0.0))
+    return float(sum(getattr(p, "nbytes", 0.0) for p in payloads))

@@ -1,0 +1,30 @@
+"""Multi-job fleet simulation on the representative-rank timing track.
+
+A :class:`FleetScheduler` time-shares one simulated interconnect
+(:class:`SharedFabric`, weighted fair sharing) between tens of
+concurrent training jobs at 1k–16k ranks each, with per-job priorities,
+arrivals, and observability ledgers.  Jobs run on the timing track's
+representative-rank data plane, so payload memory is O(1) in world
+size — the whole fleet fits on a laptop-class host.
+"""
+
+from repro.fleet.fabric import SharedFabric
+from repro.fleet.job import FleetJob, JobSpec
+from repro.fleet.scheduler import (
+    PRESETS,
+    FleetResult,
+    FleetScheduler,
+    JobReport,
+    preset_specs,
+)
+
+__all__ = [
+    "SharedFabric",
+    "FleetJob",
+    "JobSpec",
+    "FleetScheduler",
+    "FleetResult",
+    "JobReport",
+    "PRESETS",
+    "preset_specs",
+]

@@ -1,0 +1,144 @@
+"""One fleet job: a timing-track COMPSO training run on shared fabric.
+
+A :class:`FleetJob` wraps the standard :class:`DistributedKfacTrainer`
+on a representative-rank timing cluster (O(1) payload memory in world
+size — a 16k-rank job costs the same RAM as a 4-rank one), wires the
+cluster's contention hook to the shared :class:`SharedFabric`, and
+exposes single-step execution so the scheduler can interleave tens of
+jobs in simulated-time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fleet.fabric import SharedFabric
+
+__all__ = ["JobSpec", "FleetJob"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of one job submitted to the fleet."""
+
+    name: str
+    world_size: int
+    iterations: int
+    batch_size: int = 64
+    #: Fair-share weight on the fabric (higher = slowed less).
+    priority: float = 1.0
+    gpus_per_node: int = 4
+    #: COMPSO error bound for the preconditioned-gradient compressor;
+    #: ``None`` runs the job uncompressed.
+    eb: float | None = 4e-3
+    seed: int = 0
+    #: Fleet time at which the job starts (seconds).
+    arrival: float = 0.0
+
+    def __post_init__(self):
+        if self.iterations < 1:
+            raise ValueError(f"job {self.name!r}: iterations must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError(f"job {self.name!r}: batch_size must be >= 1")
+        if self.arrival < 0.0:
+            raise ValueError(f"job {self.name!r}: arrival must be >= 0")
+
+
+class FleetJob:
+    """A job's live state: cluster, trainer, batch cursor, ledger."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        fabric: SharedFabric,
+        *,
+        network=None,
+        ledger_path: str | Path | None = None,
+    ):
+        from repro.core import CompsoCompressor
+        from repro.data import make_image_data
+        from repro.data.loaders import batch_indices
+        from repro.distributed import SLINGSHOT10, SimCluster
+        from repro.kfac_dist import DistributedKfacTrainer
+        from repro.models import resnet_proxy
+        from repro.obsv import LedgerConfig
+        from repro.train import ClassificationTask
+
+        self.spec = spec
+        self.fabric = fabric
+        fabric.register(spec.name, spec.priority)
+        self.cluster = SimCluster.from_world_size(
+            spec.world_size,
+            spec.gpus_per_node,
+            seed=spec.seed,
+            network=network if network is not None else SLINGSHOT10,
+            track="timing",
+        )
+        # Every collective this cluster prices goes through the shared
+        # fabric, translated from job-local to fleet time.
+        self.cluster.contention = self._price
+        task = ClassificationTask(
+            make_image_data(256, n_classes=5, size=8, noise=0.5, seed=spec.seed)
+        )
+        self.ledger_path = Path(ledger_path) if ledger_path is not None else None
+        self.trainer = DistributedKfacTrainer(
+            resnet_proxy(n_classes=5, channels=8, rng=spec.seed + 3),
+            task,
+            self.cluster,
+            lr=0.05,
+            inv_update_freq=2,
+            compressor=(
+                CompsoCompressor(spec.eb, spec.eb, seed=spec.seed)
+                if spec.eb is not None
+                else None
+            ),
+            obsv=(
+                LedgerConfig(self.ledger_path, note=f"fleet job={spec.name}")
+                if self.ledger_path is not None
+                else None
+            ),
+        )
+        if self.trainer.obsv is not None:
+            self.trainer.obsv.update_manifest(
+                seed=spec.seed,
+                iterations=spec.iterations,
+                batch_size=spec.batch_size,
+                fleet={
+                    "job": spec.name,
+                    "priority": spec.priority,
+                    "world_size": spec.world_size,
+                    "arrival": spec.arrival,
+                },
+            )
+        self._batches = list(
+            batch_indices(task.n, spec.batch_size, iterations=spec.iterations, seed=spec.seed)
+        )
+        self.steps_done = 0
+
+    def _price(self, op: str, start: float, seconds: float) -> float:
+        return self.fabric.acquire(self.spec.name, op, self.spec.arrival + start, seconds)
+
+    @property
+    def done(self) -> bool:
+        return self.steps_done >= len(self._batches)
+
+    @property
+    def now(self) -> float:
+        """The job's position on the fleet clock."""
+        return self.spec.arrival + self.cluster.time
+
+    def step(self) -> float:
+        """Run one training iteration; closes the ledger on the last."""
+        if self.done:
+            raise RuntimeError(f"job {self.spec.name!r} already finished")
+        loss = self.trainer.step(self._batches[self.steps_done])
+        self.steps_done += 1
+        if self.done and self.trainer.obsv is not None:
+            self.trainer.obsv.close()
+        return loss
+
+    @property
+    def final_loss(self) -> float:
+        losses = self.trainer.history.losses
+        return losses[-1] if losses else float("nan")

@@ -29,6 +29,7 @@ from repro.compression.base import GradientCompressor
 from repro.core.adaptive import AdaptiveCompso
 from repro.data.loaders import batch_indices, shard
 from repro.distributed.cluster import SimCluster
+from repro.distributed.plane import map_payloads
 from repro.faults.plan import FailureEvent
 from repro.faults.recovery import ReliableChannel
 from repro.guard.guard import as_guard
@@ -192,6 +193,10 @@ class DistributedKfacTrainer:
             # may not divide evenly; trim the remainder so shards stay
             # consistent (averaging rescales automatically to the new world).
             global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
+        if self.cluster.is_timing:
+            # Representative rank: run one shard of the per-rank size so
+            # compute timing matches what every rank would do.
+            return [global_idx[: max(1, len(global_idx) // world)]]
         return shard(global_idx, world)
 
     def _local_shard_pass(self, shards: list[np.ndarray], tracer):
@@ -213,6 +218,16 @@ class DistributedKfacTrainer:
             per_rank_other.append(self._other_flat_grad())
             per_rank_factors.append(
                 [self.kfac.local_factors(i) for i in range(len(self.kfac.layers))]
+            )
+        if self.cluster.is_timing:
+            # Timing track: the single representative shard stands in for
+            # every rank (factors are shared read-only; copy=False).
+            cl = self.cluster
+            return (
+                losses,
+                cl.replicate(per_rank_grads[0]),
+                cl.replicate(per_rank_other[0]),
+                cl.replicate(per_rank_factors[0], copy=False),
             )
         return losses, per_rank_grads, per_rank_other, per_rank_factors
 
@@ -421,7 +436,7 @@ class DistributedKfacTrainer:
                     self.cluster.advance_all(bwd / len(bounds), "backward")
                 grad_handles.append(
                     rt.iallreduce(
-                        [g[lo:hi] for g in per_rank_grads],
+                        map_payloads(per_rank_grads, lambda g: g[lo:hi]),
                         average=True,
                         category="grad_allreduce",
                     )
@@ -559,6 +574,25 @@ class DistributedKfacTrainer:
         RNG is consumed in the exact same order.
         """
         wire_bytes: float | None = None
+        if self.cluster.is_timing:
+            # Timing track: every rank's contribution is the representative
+            # one, so compress it once — wire_bytes already matches the
+            # convergence semantic (mean compressed bytes per rank).
+            pair = per_rank_factors[0][i]
+            if self.factor_compressor is not None:
+                original = 0
+                wire = 0
+                decoded = []
+                for mat in pair:
+                    ct = self.factor_compressor.compress(mat.astype(np.float32))
+                    original += mat.astype(np.float32).nbytes
+                    wire += ct.nbytes
+                    decoded.append(self.factor_compressor.decompress(ct).astype(np.float64))
+                self.factor_ratios.append(original / max(wire, 1))
+                wire_bytes = float(wire)
+                pair = decoded
+            flat = np.concatenate([pair[0].ravel(), pair[1].ravel()])
+            return self.cluster.replicate(flat, copy=False), wire_bytes
         if self.factor_compressor is not None:
             original = 0
             wire = 0

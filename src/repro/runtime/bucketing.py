@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.distributed.plane import RepView, map_payloads
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compression.base import GradientCompressor
     from repro.runtime.engine import StreamRuntime
@@ -81,10 +83,12 @@ class Bucketer:
 
         ``wire_nbytes`` overrides this item's modelled wire contribution
         (e.g. when the payload was already compressed upstream and only
-        the compressed bytes travel).
+        the compressed bytes travel).  A :class:`RepView` input (the
+        timing track's representative payloads) stays a RepView all the
+        way through flush — one concatenation, one compression.
         """
-        arrays = [np.asarray(a) for a in per_rank_arrays]
-        flats = [a.ravel() for a in arrays]
+        arrays = map_payloads(per_rank_arrays, np.asarray)
+        flats = map_payloads(arrays, lambda a: a.ravel())
         self._items.append((key, flats, arrays[0].shape, wire_nbytes))
         self._pending_bytes += flats[0].nbytes
         if self._pending_bytes >= self.threshold_bytes:
@@ -95,10 +99,14 @@ class Bucketer:
         if not self._items:
             return
         world = self.runtime.cluster.world_size
-        payloads = [
-            np.concatenate([flats[r] for _, flats, _, _ in self._items])
-            for r in range(world)
-        ]
+        if all(isinstance(flats, RepView) for _, flats, _, _ in self._items):
+            rep = np.concatenate([flats.payload for _, flats, _, _ in self._items])
+            payloads = RepView(rep, world)
+        else:
+            payloads = [
+                np.concatenate([flats[r] for _, flats, _, _ in self._items])
+                for r in range(world)
+            ]
         slices: list[tuple[object, int, int, tuple]] = []
         pos = 0
         for key, flats, shape, _ in self._items:
@@ -109,12 +117,17 @@ class Bucketer:
             # Compress each rank's whole bucket once (layer aggregation
             # executed for real); the decompressed payloads are what the
             # collective reduces, and only compressed bytes are costed.
-            compressed = [self.compressor.compress(p.astype(np.float32)) for p in payloads]
-            wire = float(sum(ct.nbytes for ct in compressed)) / world
-            payloads = [
-                self.compressor.decompress(ct).ravel().astype(payloads[0].dtype)
-                for ct in compressed
-            ]
+            dtype = payloads[0].dtype
+            compressed = map_payloads(
+                payloads, lambda p: self.compressor.compress(p.astype(np.float32))
+            )
+            if isinstance(compressed, RepView):
+                wire = float(compressed.payload.nbytes)
+            else:
+                wire = float(sum(ct.nbytes for ct in compressed)) / world
+            payloads = map_payloads(
+                compressed, lambda ct: self.compressor.decompress(ct).ravel().astype(dtype)
+            )
         elif any(w is not None for _, _, _, w in self._items):
             wire = float(
                 sum(w if w is not None else flats[0].nbytes for _, flats, _, w in self._items)

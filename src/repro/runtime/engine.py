@@ -43,12 +43,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.distributed.collectives import (
-    allgather_time,
-    allreduce_time,
-    broadcast_time,
-    reduce_scatter_time,
-)
+from repro.distributed.plane import RepView
 from repro.runtime.compute import ComputeModel
 from repro.runtime.errors import DeadlockError, UnmatchedCollectiveError
 from repro.telemetry import SIM_TRACK, get_tracer
@@ -388,15 +383,14 @@ class StreamRuntime:
         total = c._reduce_data(arrays, "allreduce", average=average)
         result = total.astype(np.asarray(arrays[0]).dtype)
         wire = result.nbytes if nbytes is None else nbytes
-        seconds = allreduce_time(c.network, c.world_size, wire, c.gpus_per_node)
+        seconds = c.collective_seconds("allreduce", wire)
         c._record_collective("allreduce", seconds, result.nbytes, wire)
-        world = c.world_size
         return self._issue(
             "allreduce",
             category,
             seconds,
             nbytes_wire=wire,
-            finalize=lambda: [result.copy() for _ in range(world)],
+            finalize=lambda: c._replicate_result(result),
             attrs={"nbytes_raw": result.nbytes, "nbytes_wire": wire},
         )
 
@@ -416,10 +410,14 @@ class StreamRuntime:
                 c.allgather(objects, nbytes_per_rank=nbytes_per_rank, category=category),
             )
         c._check(objects)
-        raw_sizes = [o.nbytes for o in objects if isinstance(o, np.ndarray)]
+        if isinstance(objects, RepView):
+            first = objects.payload
+            raw_sizes = [first.nbytes] if isinstance(first, np.ndarray) else []
+        else:
+            raw_sizes = [o.nbytes for o in objects if isinstance(o, np.ndarray)]
         if nbytes_per_rank is None:
             nbytes_per_rank = max(raw_sizes) if raw_sizes else 0.0
-        seconds = allgather_time(c.network, c.world_size, nbytes_per_rank, c.gpus_per_node)
+        seconds = c.collective_seconds("allgather", nbytes_per_rank)
         raw = max(raw_sizes) if raw_sizes else nbytes_per_rank
         c._record_collective(
             "allgather", seconds, raw * c.world_size, nbytes_per_rank * c.world_size
@@ -451,7 +449,7 @@ class StreamRuntime:
         raw = obj.nbytes if isinstance(obj, np.ndarray) else 0.0
         if nbytes is None:
             nbytes = raw
-        seconds = broadcast_time(c.network, c.world_size, nbytes, c.gpus_per_node)
+        seconds = c.collective_seconds("broadcast", nbytes)
         c._record_collective("broadcast", seconds, raw, nbytes)
         data = c._broadcast_data(obj, root)
         return self._issue(
@@ -481,7 +479,7 @@ class StreamRuntime:
         total = c._reduce_data(arrays, "reduce_scatter", average=False)
         chunks = np.array_split(total.ravel(), c.world_size)
         wire = total.nbytes if nbytes is None else nbytes
-        seconds = reduce_scatter_time(c.network, c.world_size, wire, c.gpus_per_node)
+        seconds = c.collective_seconds("reduce_scatter", wire)
         c._record_collective("reduce_scatter", seconds, total.nbytes, wire)
         dtype = np.asarray(arrays[0]).dtype
         return self._issue(

@@ -15,6 +15,7 @@ import numpy as np
 from repro.compression.base import GradientCompressor
 from repro.data.loaders import batch_indices, shard
 from repro.distributed.cluster import SimCluster
+from repro.distributed.plane import map_payloads
 from repro.telemetry import get_metrics, get_tracer
 
 __all__ = ["TrainHistory", "train_single", "DistributedSgdTrainer"]
@@ -212,6 +213,17 @@ class DistributedSgdTrainer:
                 g = decoded
             per_rank_grads.append(g)
             losses.append(loss)
+        if self.cluster.is_timing:
+            # Timing track: the single representative shard stands in for
+            # every rank, so wire/dense accounting scales back to world
+            # totals and the gradient is replicated per the payload mode.
+            world = self.cluster.world_size
+            return (
+                losses,
+                self.cluster.replicate(per_rank_grads[0]),
+                wire * world,
+                dense * world,
+            )
         return losses, per_rank_grads, wire, dense
 
     def _trimmed_shards(self, global_idx: np.ndarray) -> list[np.ndarray]:
@@ -220,6 +232,10 @@ class DistributedSgdTrainer:
             # Elastic continuation: trim the batch so it shards evenly
             # over the shrunken world (averaging rescales automatically).
             global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
+        if self.cluster.is_timing:
+            # Representative rank: run one shard of the per-rank size so
+            # compute timing matches what every rank would do.
+            return [global_idx[: max(1, len(global_idx) // world)]]
         return shard(global_idx, world)
 
     def _step(self, global_idx: np.ndarray, tracer) -> float:
@@ -306,7 +322,7 @@ class DistributedSgdTrainer:
                     self.cluster.advance_all(bwd / len(bounds), "backward")
                 handles.append(
                     rt.iallreduce(
-                        [g[lo:hi] for g in per_rank_grads],
+                        map_payloads(per_rank_grads, lambda g: g[lo:hi]),
                         average=True,
                         category="grad_allreduce",
                     )

@@ -40,31 +40,31 @@ class TestCollectiveCosts:
         "fn", [allreduce_time, broadcast_time, reduce_scatter_time]
     )
     def test_zero_for_single_rank(self, fn):
-        assert fn(SLINGSHOT10, 1, 1e6) == 0.0
+        assert fn(SLINGSHOT10, 1, 1e6, 4) == 0.0
 
     def test_allgather_zero_payload(self):
-        assert allgather_time(SLINGSHOT10, 8, 0) == 0.0
+        assert allgather_time(SLINGSHOT10, 8, 0, 4) == 0.0
 
     def test_monotone_in_size(self):
-        ts = [allreduce_time(SLINGSHOT10, 64, s) for s in (1e6, 1e7, 1e8)]
+        ts = [allreduce_time(SLINGSHOT10, 64, s, 4) for s in (1e6, 1e7, 1e8)]
         assert ts[0] < ts[1] < ts[2]
 
     def test_monotone_in_ranks(self):
-        ts = [allreduce_time(SLINGSHOT10, p, 1e8) for p in (8, 32, 128)]
+        ts = [allreduce_time(SLINGSHOT10, p, 1e8, 4) for p in (8, 32, 128)]
         assert ts[0] < ts[1] < ts[2]
 
     def test_faster_network_faster_collective(self):
-        assert allreduce_time(SLINGSHOT11, 64, 1e8) < allreduce_time(SLINGSHOT10, 64, 1e8)
+        assert allreduce_time(SLINGSHOT11, 64, 1e8, 4) < allreduce_time(SLINGSHOT10, 64, 1e8, 4)
 
     def test_allreduce_twice_reduce_scatter_bandwidth(self):
         # Ring allreduce = reduce-scatter + allgather: ~2x the volume.
-        ar = allreduce_time(SLINGSHOT10, 64, 1e9)
-        rs = reduce_scatter_time(SLINGSHOT10, 64, 1e9)
+        ar = allreduce_time(SLINGSHOT10, 64, 1e9, 4)
+        rs = reduce_scatter_time(SLINGSHOT10, 64, 1e9, 4)
         assert ar == pytest.approx(2 * rs, rel=0.01)
 
     def test_broadcast_log_scaling(self):
-        t8 = broadcast_time(SLINGSHOT10, 8, 1e8)
-        t64 = broadcast_time(SLINGSHOT10, 64, 1e8)
+        t8 = broadcast_time(SLINGSHOT10, 8, 1e8, 4)
+        t64 = broadcast_time(SLINGSHOT10, 64, 1e8, 4)
         assert t64 == pytest.approx(2 * t8, rel=0.01)  # log2: 3 vs 6 hops
 
 

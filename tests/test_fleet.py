@@ -1,0 +1,342 @@
+"""repro.fleet + representative-rank data plane tests.
+
+Three contracts:
+
+1. **Track equivalence** — on the timing track, representative payloads
+   (one buffer stands in for all ranks) produce bit-identical parameters
+   and simulated times to full per-rank payloads, for SGD and K-FAC,
+   blocking and overlapped.
+2. **Convergence track untouched** — the default track still carries
+   full per-rank payloads through per-rank SimClocks; explicitly asking
+   for ``track="convergence"`` changes nothing.
+3. **Fleet semantics** — the scheduler completes multi-job runs with
+   weighted-fair contention (priority slows less), O(1) payload memory
+   in world size, and per-job obsv ledgers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompsoCompressor
+from repro.data import make_image_data
+from repro.distributed import (
+    SLINGSHOT10,
+    RepView,
+    SimCluster,
+    VirtualClockPlane,
+    allreduce_time,
+    map_payloads,
+    payload_nbytes,
+)
+from repro.faults import FaultPlan
+from repro.faults.plan import PayloadCorruption
+from repro.fleet import FleetScheduler, JobSpec, SharedFabric, preset_specs
+from repro.kfac_dist import DistributedKfacTrainer
+from repro.models import resnet_proxy
+from repro.optim import Sgd
+from repro.runtime import ComputeModel, StreamRuntime
+from repro.train import ClassificationTask, DistributedSgdTrainer
+
+ITERS = 3
+FLOPS = 5e7
+
+
+def _task():
+    return ClassificationTask(make_image_data(200, n_classes=5, size=8, noise=0.4, seed=0))
+
+
+def _params(model):
+    return np.concatenate([p.data.ravel() for p in model.parameters()])
+
+
+def _run(kind, ranks, *, track="timing", payloads=None, overlap=False, use_rt=False):
+    cluster = SimCluster.from_world_size(
+        ranks, min(ranks, 4), seed=0, network=SLINGSHOT10, track=track, payloads=payloads
+    )
+    model = resnet_proxy(n_classes=5, channels=8, rng=3)
+    rt = (
+        StreamRuntime(cluster, overlap=overlap, compute=ComputeModel(train_flops=FLOPS))
+        if use_rt
+        else None
+    )
+    comp = CompsoCompressor(4e-3, 4e-3, seed=0)
+    if kind == "sgd":
+        trainer = DistributedSgdTrainer(
+            model, _task(), Sgd(model.parameters(), lr=0.05), cluster,
+            compressor=comp, runtime=rt,
+        )
+    else:
+        trainer = DistributedKfacTrainer(
+            model, _task(), cluster, lr=0.05, inv_update_freq=2,
+            compressor=comp, runtime=rt,
+        )
+    trainer.train(iterations=ITERS, batch_size=64)
+    return _params(model), cluster
+
+
+class TestRepresentativeEquivalence:
+    """Representative payloads == full payloads on the timing track."""
+
+    @pytest.mark.parametrize("ranks", [4, 8, 16])
+    @pytest.mark.parametrize("kind", ["sgd", "kfac"])
+    def test_blocking_bit_identical(self, kind, ranks):
+        p_rep, c_rep = _run(kind, ranks, payloads="representative")
+        p_full, c_full = _run(kind, ranks, payloads="full")
+        assert np.array_equal(p_rep, p_full)
+        assert c_rep.time == c_full.time
+
+    @pytest.mark.parametrize("kind", ["sgd", "kfac"])
+    def test_overlapped_bit_identical(self, kind):
+        p_rep, c_rep = _run(kind, 8, payloads="representative", use_rt=True, overlap=True)
+        p_full, c_full = _run(kind, 8, payloads="full", use_rt=True, overlap=True)
+        assert np.array_equal(p_rep, p_full)
+        assert c_rep.time == c_full.time
+
+    def test_representative_memory_flat_in_world(self):
+        _, c_small = _run("kfac", 256)
+        _, c_large = _run("kfac", 4096)
+        assert c_small.peak_payload_bytes > 0
+        assert c_large.peak_payload_bytes == c_small.peak_payload_bytes
+
+    def test_convergence_memory_grows_with_world(self):
+        _, c4 = _run("kfac", 4, track="convergence")
+        _, c8 = _run("kfac", 8, track="convergence")
+        assert c8.peak_payload_bytes == 2 * c4.peak_payload_bytes
+
+
+class TestTimingTrackComposition:
+    """Runtime, time-plane faults, guard, and telemetry all compose with
+    the representative path."""
+
+    def test_straggler_guard_telemetry_compose(self):
+        from repro import telemetry
+        from repro.guard.guard import GuardConfig
+
+        plan = FaultPlan().add_straggler(1, start=0, slowdown=3.0)
+        cluster = SimCluster.from_world_size(
+            8, 4, seed=0, network=SLINGSHOT10, track="timing", fault_plan=plan
+        )
+        model = resnet_proxy(n_classes=5, channels=8, rng=3)
+        rt = StreamRuntime(cluster, overlap=True, compute=ComputeModel(train_flops=FLOPS))
+        trainer = DistributedKfacTrainer(
+            model, _task(), cluster, lr=0.05, inv_update_freq=2,
+            compressor=CompsoCompressor(4e-3, 4e-3, seed=0),
+            runtime=rt, guard=GuardConfig(),
+        )
+        with telemetry.session():
+            trainer.train(iterations=ITERS, batch_size=64)
+        assert np.all(np.isfinite(_params(model)))
+        # The straggler stretched the run past the fault-free twin.
+        clean = SimCluster.from_world_size(
+            8, 4, seed=0, network=SLINGSHOT10, track="timing"
+        )
+        model2 = resnet_proxy(n_classes=5, channels=8, rng=3)
+        rt2 = StreamRuntime(clean, overlap=True, compute=ComputeModel(train_flops=FLOPS))
+        DistributedKfacTrainer(
+            model2, _task(), clean, lr=0.05, inv_update_freq=2,
+            compressor=CompsoCompressor(4e-3, 4e-3, seed=0),
+            runtime=rt2, guard=GuardConfig(),
+        ).train(iterations=ITERS, batch_size=64)
+        assert cluster.time > clean.time
+        assert np.array_equal(_params(model), _params(model2))
+
+
+class TestConvergenceTrackUntouched:
+    def test_default_cluster_is_convergence_full(self):
+        cluster = SimCluster(2, 4, seed=0)
+        assert cluster.track == "convergence"
+        assert not cluster.is_timing
+        assert not cluster.representative
+        out = cluster.allreduce([np.full(4, float(r + 1)) for r in range(8)])
+        assert isinstance(out, list) and len(out) == 8
+        assert out[0] is not out[1]
+
+    @pytest.mark.parametrize("kind", ["sgd", "kfac"])
+    def test_explicit_convergence_matches_default(self, kind):
+        p_explicit, c_explicit = _run(kind, 8, track="convergence")
+        cluster = SimCluster(2, 4, seed=0, network=SLINGSHOT10)
+        model = resnet_proxy(n_classes=5, channels=8, rng=3)
+        comp = CompsoCompressor(4e-3, 4e-3, seed=0)
+        if kind == "sgd":
+            trainer = DistributedSgdTrainer(
+                model, _task(), Sgd(model.parameters(), lr=0.05), cluster, compressor=comp
+            )
+        else:
+            trainer = DistributedKfacTrainer(
+                model, _task(), cluster, lr=0.05, inv_update_freq=2, compressor=comp
+            )
+        trainer.train(iterations=ITERS, batch_size=64)
+        assert np.array_equal(p_explicit, _params(model))
+        assert c_explicit.time == cluster.time
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n_nodes,gpus", [(0, 4), (-1, 4), (2, 0), (2, -3), (True, 4)])
+    def test_rejects_nonpositive_shape(self, n_nodes, gpus):
+        with pytest.raises((ValueError, TypeError)):
+            SimCluster(n_nodes, gpus)
+
+    def test_from_world_size_rejects_indivisible(self):
+        with pytest.raises(ValueError, match="does not divide"):
+            SimCluster.from_world_size(10, 4)
+
+    def test_rejects_unknown_track(self):
+        with pytest.raises(ValueError, match="track"):
+            SimCluster(1, 4, track="sideways")
+
+    def test_rejects_representative_on_convergence(self):
+        with pytest.raises(ValueError, match="representative"):
+            SimCluster(1, 4, payloads="representative")
+
+    def test_timing_rejects_data_plane_faults(self):
+        plan = FaultPlan(corruptions=[PayloadCorruption(probability=0.5)])
+        with pytest.raises(ValueError, match="timing"):
+            SimCluster(1, 4, track="timing", fault_plan=plan)
+
+    def test_collective_costs_require_gpus_per_node(self):
+        with pytest.raises(TypeError):
+            allreduce_time(SLINGSHOT10, 8, 1e6)
+
+
+class TestVirtualClockPlane:
+    def test_barrier_charges_mean_wait_and_syncs(self):
+        plane = VirtualClockPlane(4)
+        plane.advance_rank(0, 2.0, "compute")
+        plane.advance_rank(1, 1.0, "compute")
+        assert plane.now_of(0) == 2.0
+        assert plane.now_of(3) == 0.0
+        plane.barrier("wait")
+        # Everyone lands on the slowest rank's time.
+        assert all(plane.now_of(r) == 2.0 for r in range(4))
+        # Mean wait = top - mean(skew) = 2.0 - 0.75
+        assert plane.breakdown()["wait"] == pytest.approx(1.25)
+
+    def test_advance_all_and_reset(self):
+        plane = VirtualClockPlane(2)
+        plane.advance_all(1.5, "comm")
+        assert plane.max_now == 1.5
+        assert plane.breakdown() == {"comm": 1.5}
+        plane.reset()
+        assert plane.max_now == 0.0
+        assert plane.breakdown() == {}
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            VirtualClockPlane(0)
+        plane = VirtualClockPlane(2)
+        with pytest.raises(ValueError):
+            plane.advance_all(-1.0)
+
+
+class TestRepView:
+    def test_sequence_semantics(self):
+        payload = np.arange(3.0)
+        view = RepView(payload, 1000)
+        assert len(view) == 1000
+        assert view[0] is payload and view[999] is payload and view[-1] is payload
+        with pytest.raises(IndexError):
+            view[1000]
+        sliced = view[10:20]
+        assert isinstance(sliced, RepView) and len(sliced) == 10
+        assert sum(1 for _ in view) == 1000
+
+    def test_map_and_nbytes(self):
+        view = RepView(np.zeros(4, dtype=np.float64), 512)
+        doubled = map_payloads(view, lambda a: a + 1.0)
+        assert isinstance(doubled, RepView) and doubled.payload[0] == 1.0
+        # One buffer resident regardless of world.
+        assert payload_nbytes(view) == 32.0
+        assert payload_nbytes([np.zeros(4) for _ in range(512)]) == 32.0 * 512
+        assert map_payloads([1, 2], lambda x: x * 2) == [2, 4]
+
+
+class TestSharedFabric:
+    def test_uncontended_is_nominal(self):
+        fabric = SharedFabric()
+        fabric.register("a")
+        assert fabric.acquire("a", "allreduce", 0.0, 1.0) == 1.0
+        assert fabric.slowdown("a") == 1.0
+
+    def test_full_overlap_equal_weights_doubles(self):
+        fabric = SharedFabric()
+        fabric.register("a")
+        fabric.register("b")
+        fabric.acquire("a", "allreduce", 0.0, 1.0)
+        assert fabric.acquire("b", "allreduce", 0.0, 1.0) == pytest.approx(2.0)
+
+    def test_priority_weight_reduces_slowdown(self):
+        fabric = SharedFabric()
+        fabric.register("hi", 2.0)
+        fabric.register("lo", 1.0)
+        fabric.acquire("lo", "allreduce", 0.0, 1.0)
+        # hi overlapping lo: (2 + 1) / 2 = 1.5x, vs 2x for equal weights.
+        assert fabric.acquire("hi", "allreduce", 0.0, 1.0) == pytest.approx(1.5)
+
+    def test_prune_drops_past_windows(self):
+        fabric = SharedFabric()
+        fabric.register("a")
+        fabric.acquire("a", "allreduce", 0.0, 1.0)
+        fabric.acquire("a", "allreduce", 5.0, 1.0)
+        assert fabric.prune(3.0) == 1
+        assert fabric.n_windows == 1
+
+    def test_register_validation(self):
+        fabric = SharedFabric()
+        fabric.register("a")
+        with pytest.raises(ValueError):
+            fabric.register("a")
+        with pytest.raises(ValueError):
+            fabric.register("b", 0.0)
+        with pytest.raises(KeyError):
+            fabric.acquire("ghost", "allreduce", 0.0, 1.0)
+
+
+class TestFleetScheduler:
+    def test_smoke_preset_completes_with_contention(self, tmp_path):
+        result = FleetScheduler(preset_specs("smoke"), ledger_dir=tmp_path).run()
+        assert len(result.reports) == 3
+        assert all(r.steps == spec.iterations for r, spec in zip(result.reports, preset_specs("smoke")))
+        assert result.total_contended_seconds > 0.0
+        for r in result.reports:
+            assert (tmp_path / f"{r.name}.ledger").exists()
+        # The priority-2 job is slowed less than its priority-1 peers.
+        job0 = result.by_name("job0")
+        assert job0.slowdown < result.by_name("job1").slowdown
+        assert job0.slowdown < result.by_name("job2").slowdown
+
+    def test_single_job_fleet_is_uncontended(self):
+        spec = JobSpec("solo", world_size=16, iterations=2, seed=0)
+        result = FleetScheduler([spec]).run()
+        report = result.by_name("solo")
+        assert report.contended_seconds == 0.0
+        assert report.slowdown == 1.0
+        assert result.makespan == report.sim_time
+
+    def test_fleet_payload_memory_flat_across_worlds(self):
+        specs = [
+            JobSpec("small", world_size=256, iterations=2, seed=0),
+            JobSpec("large", world_size=4096, iterations=2, seed=0, arrival=0.001),
+        ]
+        result = FleetScheduler(specs).run()
+        small = result.by_name("small")
+        large = result.by_name("large")
+        assert small.peak_payload_bytes > 0
+        assert large.peak_payload_bytes == small.peak_payload_bytes
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            FleetScheduler([])
+        dup = [JobSpec("x", 8, 1), JobSpec("x", 8, 1)]
+        with pytest.raises(ValueError):
+            FleetScheduler(dup)
+        with pytest.raises(ValueError):
+            JobSpec("bad", world_size=8, iterations=0)
+
+    def test_deterministic_reruns(self, tmp_path):
+        r1 = FleetScheduler(preset_specs("smoke"), ledger_dir=tmp_path / "a").run()
+        r2 = FleetScheduler(preset_specs("smoke"), ledger_dir=tmp_path / "b").run()
+        assert r1.makespan == r2.makespan
+        for a, b in zip(r1.reports, r2.reports):
+            assert a.sim_time == b.sim_time
+            assert a.final_loss == b.final_loss
+            assert a.contended_seconds == b.contended_seconds

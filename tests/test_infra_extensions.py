@@ -25,26 +25,26 @@ from tests.conftest import assert_gradcheck
 
 class TestNewCollectives:
     def test_alltoall_scales_with_pairs(self):
-        t8 = alltoall_time(SLINGSHOT10, 8, 1e6)
-        t16 = alltoall_time(SLINGSHOT10, 16, 1e6)
+        t8 = alltoall_time(SLINGSHOT10, 8, 1e6, 4)
+        t16 = alltoall_time(SLINGSHOT10, 16, 1e6, 4)
         assert t16 > t8 * 1.8
 
     def test_alltoall_single_rank_free(self):
-        assert alltoall_time(SLINGSHOT10, 1, 1e6) == 0.0
+        assert alltoall_time(SLINGSHOT10, 1, 1e6, 4) == 0.0
 
     def test_hierarchical_beats_flat_ring_at_scale(self):
         """Two-level allreduce exploits NVLink + undivided NICs."""
-        flat = allreduce_time(SLINGSHOT10, 64, 1e9)
-        hier = hierarchical_allreduce_time(SLINGSHOT10, 64, 1e9)
+        flat = allreduce_time(SLINGSHOT10, 64, 1e9, 4)
+        hier = hierarchical_allreduce_time(SLINGSHOT10, 64, 1e9, 4)
         assert hier < flat
 
     def test_hierarchical_intra_node_only(self):
-        t = hierarchical_allreduce_time(SLINGSHOT10, 4, 1e8)
-        assert 0 < t < allreduce_time(SLINGSHOT10, 64, 1e8)
+        t = hierarchical_allreduce_time(SLINGSHOT10, 4, 1e8, 4)
+        assert 0 < t < allreduce_time(SLINGSHOT10, 64, 1e8, 4)
 
     def test_hierarchical_zero_cases(self):
-        assert hierarchical_allreduce_time(SLINGSHOT10, 1, 1e6) == 0.0
-        assert hierarchical_allreduce_time(SLINGSHOT10, 8, 0) == 0.0
+        assert hierarchical_allreduce_time(SLINGSHOT10, 1, 1e6, 4) == 0.0
+        assert hierarchical_allreduce_time(SLINGSHOT10, 8, 0, 4) == 0.0
 
 
 class TestDropoutGroupNorm:
