@@ -1,0 +1,134 @@
+"""Extension bench: fleet resilience under seeded chaos at 1k–4k ranks.
+
+Eight concurrent K-FAC+COMPSO jobs (mixed 1k/2k/4k-rank worlds, mixed
+priorities, staggered arrivals, per-job deadlines) run under the seeded
+chaos harness at increasing fault rates.  Each job's drawn plan mixes
+stragglers, fabric link degradation, recoverable node failures, and
+whole-job crashes; the scheduler restarts crashed jobs from their
+exact-resume checkpoints with capped exponential backoff.
+
+The emitted curve (``BENCH_ext_fleet_chaos.json``) is goodput and
+makespan vs. fault rate — the fleet-scale analogue of the paper's
+"compression utility depends on system conditions" argument: rate 0 is
+bit-identical to the faultless fleet, and rising fault rates degrade
+goodput while every job still completes inside its retry budget.
+"""
+
+import time
+
+from benchmarks._common import emit
+from repro.util.tables import format_table
+
+WORLDS = [1024, 2048, 4096]
+N_JOBS = 8
+RATES = [0.0, 0.5, 1.0, 2.0]
+CHAOS_SEED = 11
+
+
+def _specs():
+    from repro.fleet import JobSpec
+
+    return [
+        JobSpec(
+            f"job{i}",
+            world_size=WORLDS[i % len(WORLDS)],
+            iterations=3,
+            priority=2.0 if i % 4 == 0 else 1.0,
+            seed=i,
+            arrival=0.002 * i,
+            # Sized so the faultless fleet (makespan ~1.8 s of sim time)
+            # lands inside the SLO and chaos pushes the tail past it.
+            deadline=2.25,
+        )
+        for i in range(N_JOBS)
+    ]
+
+
+def _run_fleet(rate: float):
+    from repro.fleet import FleetScheduler, apply_chaos, fabric_degradations
+
+    specs = apply_chaos(_specs(), rate=rate, seed=CHAOS_SEED)
+    start = time.perf_counter()
+    result = FleetScheduler(
+        specs,
+        retry_budget=4,
+        fabric_degradations=fabric_degradations(specs, rate=rate, seed=CHAOS_SEED),
+    ).run()
+    return result, time.perf_counter() - start
+
+
+def run_experiment():
+    return {rate: _run_fleet(rate) for rate in RATES}
+
+
+def _mean(xs):
+    return sum(xs) / len(xs)
+
+
+def test_ext_fleet_chaos(benchmark):
+    sweeps = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    data = {}
+    for rate, (result, wall) in sweeps.items():
+        goodput = _mean([r.goodput for r in result.reports])
+        lost = sum(r.time_lost_s for r in result.reports)
+        rows.append(
+            [
+                rate,
+                result.makespan,
+                goodput,
+                result.total_restarts,
+                result.total_preemptions,
+                result.jobs_failed,
+                result.slo_missed,
+                lost,
+                wall,
+            ]
+        )
+        data[str(rate)] = {
+            "makespan_s": result.makespan,
+            "mean_goodput": goodput,
+            "restarts": result.total_restarts,
+            "preemptions": result.total_preemptions,
+            "jobs_failed": result.jobs_failed,
+            "slo_missed": result.slo_missed,
+            "time_lost_s": lost,
+            "wall_s": wall,
+        }
+    table = format_table(
+        [
+            "fault rate",
+            "makespan s",
+            "mean goodput",
+            "restarts",
+            "preempt",
+            "failed",
+            "slo miss",
+            "lost s",
+            "wall s",
+        ],
+        rows,
+        title=(
+            f"Fleet chaos sweep — {N_JOBS} jobs at 1k–4k ranks, "
+            f"goodput/makespan vs fault rate"
+        ),
+        floatfmt=".4f",
+    )
+    emit("ext_fleet_chaos", table, data={"rates": data})
+
+    base = data[str(RATES[0])]
+    worst = data[str(RATES[-1])]
+    # Rate 0 is the faultless fleet: nothing restarted, nothing lost.
+    assert base["restarts"] == 0 and base["time_lost_s"] == 0.0
+    # Chaos must actually bite at the nominal rate and beyond...
+    assert data["1.0"]["restarts"] >= 1
+    # ...and every failed job restarted from checkpoint within budget.
+    for rate, (result, _) in sweeps.items():
+        assert result.jobs_failed == 0, f"rate {rate}: jobs exhausted retry budget"
+        for report in result.reports:
+            assert report.steps == 3, f"rate {rate}: {report.name} incomplete"
+    # The headline curve: goodput degrades and makespan grows with rate.
+    assert worst["mean_goodput"] < base["mean_goodput"]
+    assert worst["makespan_s"] > base["makespan_s"]
+    assert worst["time_lost_s"] > 0.0

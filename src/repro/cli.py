@@ -435,26 +435,49 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet import FleetScheduler, preset_specs
+    from repro.fleet import (
+        FleetScheduler,
+        apply_chaos,
+        fabric_degradations,
+        preset_options,
+        preset_specs,
+    )
 
     specs = preset_specs(args.preset)
-    scheduler = FleetScheduler(specs, ledger_dir=args.out)
+    options = preset_options(args.preset)
+    if args.chaos:
+        specs = apply_chaos(specs, rate=args.fault_rate, seed=args.chaos_seed)
+        options.setdefault(
+            "fabric_degradations",
+            fabric_degradations(specs, rate=args.fault_rate, seed=args.chaos_seed),
+        )
+    if args.max_concurrent is not None:
+        options["max_concurrent"] = args.max_concurrent
+    if args.retry_budget is not None:
+        options["retry_budget"] = args.retry_budget
+    scheduler = FleetScheduler(specs, ledger_dir=args.out, **options)
     result = scheduler.run()
     header = (
         f"{'job':8s} {'world':>6s} {'prio':>5s} {'steps':>5s} {'sim_s':>9s} "
-        f"{'fleet_end':>9s} {'contended':>9s} {'slowdown':>8s} {'peak_B':>9s} {'loss':>8s}"
+        f"{'fleet_end':>9s} {'contended':>9s} {'slowdown':>8s} {'peak_B':>9s} "
+        f"{'loss':>8s} {'state':>6s} {'rst':>3s} {'pre':>3s} {'good':>5s} {'slo':>4s}"
     )
-    print(f"fleet preset={args.preset}: {len(specs)} jobs on shared fabric")
+    mode = " +chaos" if args.chaos else ""
+    print(f"fleet preset={args.preset}{mode}: {len(specs)} jobs on shared fabric")
     print(header)
     for r in result.reports:
+        slo = "-" if r.slo_met is None else ("met" if r.slo_met else "MISS")
         print(
             f"{r.name:8s} {r.world_size:6d} {r.priority:5.1f} {r.steps:5d} "
             f"{r.sim_time:9.4f} {r.fleet_end:9.4f} {r.contended_seconds:9.4f} "
-            f"{r.slowdown:8.3f} {r.peak_payload_bytes:9.0f} {r.final_loss:8.4f}"
+            f"{r.slowdown:8.3f} {r.peak_payload_bytes:9.0f} {r.final_loss:8.4f} "
+            f"{r.state:>6s} {r.restarts:3d} {r.preemptions:3d} {r.goodput:5.2f} {slo:>4s}"
         )
     print(
         f"makespan {result.makespan:.4f}s, "
-        f"total contended {result.total_contended_seconds:.4f}s"
+        f"total contended {result.total_contended_seconds:.4f}s, "
+        f"{result.total_restarts} restarts, {result.total_preemptions} preemptions, "
+        f"{result.jobs_failed} failed, {result.slo_missed} SLO misses"
     )
     if args.out:
         print(f"per-job ledgers in {args.out}/")
@@ -583,12 +606,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--preset",
-        choices=["smoke", "scale"],
+        choices=["smoke", "scale", "chaos-smoke"],
         default="smoke",
-        help="job mix: smoke (3 small jobs, CI-gated) or scale (10 jobs at 1k-4k ranks)",
+        help="job mix: smoke (3 small jobs, CI-gated), scale (10 jobs at 1k-4k "
+        "ranks), or chaos-smoke (smoke + deterministic crash/failure plans, "
+        "CI-gated)",
     )
     p.add_argument("--out", default=None, help="directory for per-job ledgers")
     p.add_argument("--json", default=None, help="also dump the fleet result as JSON")
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="attach seeded fault plans (stragglers, link degradation, node "
+        "failures, job crashes) and fleet-wide fabric brownouts to the preset",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=1.0,
+        help="chaos intensity: scales every fault probability (0 = faultless)",
+    )
+    p.add_argument("--chaos-seed", type=int, default=0, help="seed for the chaos draws")
+    p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="cap on simultaneously running jobs (arrivals beyond it queue or preempt)",
+    )
+    p.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        help="restarts allowed per job before it is marked failed",
+    )
     p.set_defaults(func=cmd_fleet)
 
     sub.add_parser("experiments", help="list paper artefacts and benches").set_defaults(

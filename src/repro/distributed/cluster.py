@@ -33,10 +33,12 @@ Two tracks (DESIGN.md decision 8):
   clocks live in a shared :class:`VirtualClockPlane`.  Payload memory
   and per-collective CPU are O(1) in world size, while every modelled
   second is computed by the exact same alpha-beta formulas as the
-  convergence track.  Data-plane faults (payload corruption, dropped
+  convergence track.  Fault support is per plane (``TRACK_PLANES``):
+  time-plane faults (stragglers, jitter, degradation) and
+  availability-plane faults (rank/node failures, job crashes) compose
+  normally, while data-plane faults (payload corruption, dropped
   contributions) are rejected — they are per-rank by nature and have no
-  representative; time-plane faults (stragglers, jitter, degradation,
-  failures) compose normally.
+  representative payload to touch.
 """
 
 from __future__ import annotations
@@ -52,7 +54,19 @@ from repro.faults.plan import FailureEvent, FaultPlan
 from repro.telemetry import SIM_TRACK, get_metrics, get_tracer
 from repro.util.seeding import rng_for_rank
 
-__all__ = ["SimRank", "SimCluster"]
+__all__ = ["SimRank", "SimCluster", "TRACK_PLANES"]
+
+#: Fault planes each track can honor (DESIGN.md decision 9).  The timing
+#: track shares one representative payload across all ranks, so per-rank
+#: data-plane faults (corruption, drops) have nothing to corrupt — but
+#: time-plane faults stretch the VirtualClockPlane and availability-plane
+#: faults shrink the world, both of which representative runs model
+#: exactly.
+TRACK_PLANES = {
+    "convergence": frozenset({"time", "data", "availability"}),
+    "timing": frozenset({"time", "availability"}),
+}
+_TRACK_PLANES = TRACK_PLANES
 
 
 class SimRank:
@@ -149,16 +163,28 @@ class SimCluster:
         #: representative path.  The fleet CI asserts this stays flat as
         #: the timing-track world grows.
         self.peak_payload_bytes = 0.0
+        #: Critical-path sim seconds added by time-plane faults (the max
+        #: per-rank straggler/jitter stall of each collective) — the part
+        #: of :attr:`time` the fleet's goodput accounting treats as lost
+        #: rather than useful work.
+        self.fault_delay_seconds = 0.0
         # An empty plan must behave exactly like no plan, so it is
         # discarded here rather than special-cased on every hot path.
+        # (A crashes-only plan is empty *for the cluster*: job crashes are
+        # interpreted by the fleet scheduler, one layer up.)
         self.faults: FaultController | None = None
-        if fault_plan is not None and not fault_plan.is_empty():
-            if track == "timing" and (fault_plan.corruptions or fault_plan.drops):
-                raise ValueError(
-                    "timing track cannot run data-plane faults (corruptions/drops): "
-                    "they are per-rank effects with no representative payload; use "
-                    "the convergence track or a time-plane-only plan"
-                )
+        if fault_plan is not None and not fault_plan.is_empty_for_cluster():
+            for entry in fault_plan.entries():
+                if entry.plane not in _TRACK_PLANES[track]:
+                    supported = sorted(
+                        t for t, planes in _TRACK_PLANES.items() if entry.plane in planes
+                    )
+                    raise ValueError(
+                        f"{type(entry).__name__} is a {entry.plane}-plane fault, which "
+                        f"the {track!r} track cannot honor (its representative payload "
+                        f"is shared by all ranks); tracks supporting it: "
+                        f"{', '.join(supported)}"
+                    )
             self.faults = FaultController(fault_plan, world)
 
     @classmethod
@@ -290,6 +316,8 @@ class SimCluster:
                 extras = self.faults.collective_extras(
                     op or category, seconds, [r.rank for r in self.ranks]
                 )
+                if extras:
+                    self.fault_delay_seconds += max(extras.values())
             start = plane.max_now
             plane.barrier("wait")
             plane.advance_all(seconds, category)
@@ -322,6 +350,8 @@ class SimCluster:
             extras = self.faults.collective_extras(
                 op or category, seconds, [r.rank for r in self.ranks]
             )
+            if extras:
+                self.fault_delay_seconds += max(extras.values())
         t = max(r.clock.now for r in self.ranks)
         for r in self.ranks:
             if tracer.enabled and t > r.clock.now:

@@ -28,6 +28,7 @@ from repro.faults.plan import (
     FailureEvent,
     FaultPlan,
     Jitter,
+    JobCrash,
     LinkDegradation,
     PayloadCorruption,
     RankFailure,
@@ -42,6 +43,7 @@ __all__ = [
     "FaultController",
     "FaultPlan",
     "Jitter",
+    "JobCrash",
     "LinkDegradation",
     "PayloadCorruption",
     "RankFailure",

@@ -95,8 +95,24 @@ class FaultController:
 
         The draw order is the rank order of ``rank_ids``, which the
         cluster keeps stable, so schedules are reproducible.
+
+        Fast path for fleet-scale worlds: when no jitter window is active
+        (so no randomness would be consumed anyway), only ranks with an
+        active straggler are visited — a 4096-rank collective with one
+        straggler touches one rank, not 4096.
         """
         extras: dict[int, float] = {}
+        if not any(
+            window_active(j.start, j.stop, self.iteration) for j in self.plan.jitters
+        ):
+            active = {
+                s.rank
+                for s in self.plan.stragglers
+                if window_active(s.start, s.stop, self.iteration)
+            }
+            if not active:
+                return extras
+            rank_ids = [r for r in rank_ids if r in active]
         for rank in rank_ids:
             extra = (self.straggler_factor(rank) - 1.0) * base_seconds
             if extra > 0.0:

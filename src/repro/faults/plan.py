@@ -23,6 +23,7 @@ Iteration windows are half-open ``[start, stop)``; ``stop=None`` means
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 __all__ = [
     "Straggler",
@@ -31,6 +32,7 @@ __all__ = [
     "PayloadCorruption",
     "DroppedContribution",
     "RankFailure",
+    "JobCrash",
     "FailureEvent",
     "FaultPlan",
 ]
@@ -44,6 +46,11 @@ def window_active(start: int, stop: int | None, iteration: int) -> bool:
 @dataclass(frozen=True)
 class Straggler:
     """One rank runs ``slowdown``x slower on every collective in a window."""
+
+    #: Fault plane: "time" faults stretch clocks, "data" faults touch
+    #: payload bytes, "availability" faults remove capacity.  The cluster
+    #: uses this to decide which fault classes each track can honor.
+    plane: ClassVar[str] = "time"
 
     rank: int
     start: int
@@ -63,6 +70,8 @@ class LinkDegradation:
     divides the beta (bandwidth) term.  Both default to "no change".
     """
 
+    plane: ClassVar[str] = "time"
+
     start: int
     stop: int | None = None
     latency_factor: float = 1.0
@@ -79,6 +88,8 @@ class Jitter:
 
     ``rank=None`` applies independent jitter to every rank.
     """
+
+    plane: ClassVar[str] = "time"
 
     sigma: float
     start: int = 0
@@ -101,6 +112,8 @@ class PayloadCorruption:
     travel.
     """
 
+    plane: ClassVar[str] = "data"
+
     probability: float
     start: int = 0
     stop: int | None = None
@@ -119,6 +132,8 @@ class DroppedContribution:
     """A rank's contributions to reducing collectives are lost for one
     iteration (the remaining ranks' average gracefully degrades)."""
 
+    plane: ClassVar[str] = "data"
+
     rank: int
     iteration: int
     op: str = "allreduce"
@@ -135,9 +150,33 @@ class RankFailure:
     checkpoint (if one exists) before continuing.
     """
 
+    plane: ClassVar[str] = "availability"
+
     rank: int
     iteration: int
     recoverable: bool = True
+
+
+@dataclass(frozen=True)
+class JobCrash:
+    """The whole job process crashes at the start of ``iteration``.
+
+    Unlike :class:`RankFailure` (one rank dies, the survivors continue
+    elastically), a crash kills the entire run: all in-memory state is
+    lost and the job must be restarted from its last checkpoint.  The
+    cluster itself ignores crashes — they are interpreted by the layer
+    that owns the job lifecycle (:class:`repro.fleet.FleetScheduler`),
+    which detects the crash, requeues the job with backoff, and restores
+    from the checkpointed step.
+    """
+
+    plane: ClassVar[str] = "availability"
+
+    iteration: int
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError(f"crash iteration must be >= 0, got {self.iteration}")
 
 
 @dataclass(frozen=True)
@@ -156,7 +195,7 @@ class FailureEvent:
 
 @dataclass
 class FaultPlan:
-    """A seeded schedule of time-plane and data-plane faults."""
+    """A seeded schedule of time-, data-, and availability-plane faults."""
 
     seed: int = 0
     stragglers: list[Straggler] = field(default_factory=list)
@@ -165,6 +204,7 @@ class FaultPlan:
     corruptions: list[PayloadCorruption] = field(default_factory=list)
     drops: list[DroppedContribution] = field(default_factory=list)
     failures: list[RankFailure] = field(default_factory=list)
+    crashes: list[JobCrash] = field(default_factory=list)
 
     # -- builder API ---------------------------------------------------------
 
@@ -221,9 +261,44 @@ class FaultPlan:
             self.add_failure(r, iteration=iteration, recoverable=recoverable)
         return self
 
+    def add_crash(self, *, iteration: int) -> "FaultPlan":
+        """Crash the whole job at the start of ``iteration`` (fleet-level)."""
+        self.crashes.append(JobCrash(iteration))
+        return self
+
     # -- introspection -------------------------------------------------------
 
+    def entries(self):
+        """All scheduled fault records, grouped order, for capability checks."""
+        for group in (
+            self.stragglers,
+            self.degradations,
+            self.jitters,
+            self.corruptions,
+            self.drops,
+            self.failures,
+            self.crashes,
+        ):
+            yield from group
+
     def is_empty(self) -> bool:
+        return not (
+            self.stragglers
+            or self.degradations
+            or self.jitters
+            or self.corruptions
+            or self.drops
+            or self.failures
+            or self.crashes
+        )
+
+    def is_empty_for_cluster(self) -> bool:
+        """True when nothing in the plan is interpreted *inside* a cluster.
+
+        Job crashes are fleet-level (the scheduler kills and restarts the
+        whole run); a crashes-only plan must leave the cluster's hot paths
+        bit-identical to a faultless one, so ``SimCluster`` discards it.
+        """
         return not (
             self.stragglers
             or self.degradations
@@ -252,13 +327,5 @@ class FaultPlan:
     def describe(self) -> str:
         """Human-readable one-line-per-fault summary."""
         lines = [f"FaultPlan(seed={self.seed})"]
-        for group in (
-            self.stragglers,
-            self.degradations,
-            self.jitters,
-            self.corruptions,
-            self.drops,
-            self.failures,
-        ):
-            lines.extend(f"  {entry}" for entry in group)
+        lines.extend(f"  {entry}" for entry in self.entries())
         return "\n".join(lines)

@@ -18,6 +18,13 @@ Windows are recorded in *fleet* time (job arrival offset + job-local
 sim time) and pruned once every live job's clock has moved past them,
 keeping the window list bounded by the number of in-flight transfers
 rather than the length of the run.
+
+The fabric can also carry *degradation windows* (``degrade``): fleet-time
+intervals during which the whole interconnect runs ``factor``x slower —
+the chaos harness uses these to model spine-link brownouts that slow
+every job at once, on top of each job's own fault plan.  A transfer
+overlapping a degradation window is stretched by the overlapped fraction
+before contention is priced, so degradation and fair sharing compose.
 """
 
 from __future__ import annotations
@@ -36,6 +43,10 @@ class SharedFabric:
         self.contended_seconds: dict[str, float] = {}
         #: Nominal (uncontended) seconds each job put on the wire.
         self.nominal_seconds: dict[str, float] = {}
+        #: Extra seconds each job lost to fabric degradation windows.
+        self.degraded_seconds: dict[str, float] = {}
+        # (start, stop, factor) fleet-time windows of fabric slowdown.
+        self._degradations: list[tuple[float, float, float]] = []
         #: Total transfers priced.
         self.acquisitions = 0
 
@@ -51,6 +62,15 @@ class SharedFabric:
         self._weights[name] = weight
         self.contended_seconds[name] = 0.0
         self.nominal_seconds[name] = 0.0
+        self.degraded_seconds[name] = 0.0
+
+    def degrade(self, start: float, stop: float, factor: float) -> None:
+        """Slow the whole fabric ``factor``x inside ``[start, stop)``."""
+        if stop <= start:
+            raise ValueError(f"degradation window [{start}, {stop}) is empty")
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        self._degradations.append((float(start), float(stop), float(factor)))
 
     def acquire(self, name: str, op: str, start: float, seconds: float) -> float:
         """Price one transfer: returns the contention-stretched duration
@@ -60,18 +80,27 @@ class SharedFabric:
         if seconds <= 0.0:
             return seconds
         own = self._weights[name]
-        end = start + seconds
+        # Fabric degradation first: the overlapped fraction of the
+        # transfer runs factor-x slower, stretching the window that
+        # contention is then priced over.
+        degraded = seconds
+        for d_start, d_stop, d_factor in self._degradations:
+            overlap = min(start + seconds, d_stop) - max(start, d_start)
+            if overlap > 0.0:
+                degraded += (d_factor - 1.0) * overlap
+        end = start + degraded
         load = own
         for w_start, w_end, w_name, w_weight in self._windows:
             if w_name == name:
                 continue
             overlap = min(end, w_end) - max(start, w_start)
             if overlap > 0.0:
-                load += w_weight * (overlap / seconds)
-        slowed = seconds * (load / own)
+                load += w_weight * (overlap / degraded)
+        slowed = degraded * (load / own)
         self._windows.append((start, start + slowed, name, own))
         self.nominal_seconds[name] += seconds
-        self.contended_seconds[name] += slowed - seconds
+        self.degraded_seconds[name] += degraded - seconds
+        self.contended_seconds[name] += slowed - degraded
         self.acquisitions += 1
         return slowed
 
@@ -87,6 +116,7 @@ class SharedFabric:
         clock has passed them); returns how many were dropped."""
         before = len(self._windows)
         self._windows = [w for w in self._windows if w[1] > frontier]
+        self._degradations = [d for d in self._degradations if d[1] > frontier]
         return before - len(self._windows)
 
     @property

@@ -6,16 +6,48 @@ size — a 16k-rank job costs the same RAM as a 4-rank one), wires the
 cluster's contention hook to the shared :class:`SharedFabric`, and
 exposes single-step execution so the scheduler can interleave tens of
 jobs in simulated-time order.
+
+Jobs have a failure lifecycle (``waiting -> running -> done``, with
+crash/preempt excursions back to ``waiting`` and a terminal ``failed``):
+
+* the job checkpoints every ``JobSpec.checkpoint_every`` completed
+  steps via the trainer's atomic exact-resume checkpoint (model, K-FAC
+  eigen state, momentum, adaptive bounds, SR RNG);
+* a :class:`~repro.faults.plan.JobCrash` in the job's fault plan raises
+  :class:`JobCrashed` at the scheduled iteration — the scheduler rolls
+  the job back to its checkpoint and requeues it with backoff;
+* preemption checkpoints at the *current* step, so a preempted job
+  loses queue position but no work;
+* rank/node failures inside the plan never reach the scheduler — the
+  trainer's elastic continuation (``repro.faults.recovery`` semantics)
+  shrinks the world and reassigns layer ownership mid-run.
+
+Fleet-time bookkeeping: ``offset`` is the fleet time at which the
+current segment's cluster clock started (the arrival for the first
+segment, the resume time after a crash or preemption), so ``now =
+offset + cluster.time`` is always the job's true position on the fleet
+clock, and fabric windows from rolled-back segments stay priced — the
+lost work really did occupy the wire.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.faults.plan import FaultPlan
 from repro.fleet.fabric import SharedFabric
 
-__all__ = ["JobSpec", "FleetJob"]
+__all__ = ["JobSpec", "FleetJob", "JobCrashed"]
+
+
+class JobCrashed(RuntimeError):
+    """Raised by :meth:`FleetJob.step` when a scheduled crash fires."""
+
+    def __init__(self, name: str, iteration: int):
+        super().__init__(f"job {name!r} crashed at iteration {iteration}")
+        self.name = name
+        self.iteration = iteration
 
 
 @dataclass(frozen=True)
@@ -26,7 +58,8 @@ class JobSpec:
     world_size: int
     iterations: int
     batch_size: int = 64
-    #: Fair-share weight on the fabric (higher = slowed less).
+    #: Fair-share weight on the fabric (higher = slowed less) and the
+    #: scheduler's preemption rank (higher priority can preempt lower).
     priority: float = 1.0
     gpus_per_node: int = 4
     #: COMPSO error bound for the preconditioned-gradient compressor;
@@ -35,18 +68,40 @@ class JobSpec:
     seed: int = 0
     #: Fleet time at which the job starts (seconds).
     arrival: float = 0.0
+    #: Latency SLO: the job should finish within ``deadline`` fleet
+    #: seconds of its arrival.  ``None`` means no SLO.
+    deadline: float | None = None
+    #: Checkpoint every N completed steps (0 disables checkpointing;
+    #: a crashed job then restarts from step 0).
+    checkpoint_every: int = 1
+    #: Per-job fault schedule.  Crashes are interpreted by the fleet
+    #: scheduler; everything else by the job's own SimCluster (which
+    #: rejects data-plane faults on the timing track).
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self):
+        if not self.name:
+            raise ValueError("job name must be a non-empty string")
         if self.iterations < 1:
             raise ValueError(f"job {self.name!r}: iterations must be >= 1")
         if self.batch_size < 1:
             raise ValueError(f"job {self.name!r}: batch_size must be >= 1")
+        if self.priority <= 0.0:
+            raise ValueError(
+                f"job {self.name!r}: priority must be > 0, got {self.priority!r}"
+            )
         if self.arrival < 0.0:
             raise ValueError(f"job {self.name!r}: arrival must be >= 0")
+        if self.deadline is not None and self.deadline <= 0.0:
+            raise ValueError(
+                f"job {self.name!r}: deadline must be > 0 seconds past arrival"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(f"job {self.name!r}: checkpoint_every must be >= 0")
 
 
 class FleetJob:
-    """A job's live state: cluster, trainer, batch cursor, ledger."""
+    """A job's live state: cluster, trainer, batch cursor, lifecycle."""
 
     def __init__(
         self,
@@ -55,7 +110,50 @@ class FleetJob:
         *,
         network=None,
         ledger_path: str | Path | None = None,
+        checkpoint_path: str | Path | None = None,
     ):
+        self.spec = spec
+        self.fabric = fabric
+        fabric.register(spec.name, spec.priority)
+        self._network = network
+        self.ledger_path = Path(ledger_path) if ledger_path is not None else None
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        # -- lifecycle state --------------------------------------------------
+        self.state = "waiting"
+        #: Fleet time at which the job can (re)start.
+        self.ready_time = spec.arrival
+        #: Fleet time at which the current segment's cluster clock started.
+        self.offset = spec.arrival
+        #: Fleet time at which the job finished or permanently failed.
+        self.end: float | None = None
+        self.restarts = 0
+        self.preemptions = 0
+        #: Sim seconds of work rolled back by crashes.
+        self.lost_work = 0.0
+        #: Fleet seconds spent waiting out restart backoff.
+        self.backoff_total = 0.0
+        #: Priced sim seconds of earlier (crashed or preempted) segments.
+        self.sim_time_past = 0.0
+        #: Fault-injected collective stall from earlier segments.
+        self._fault_delay_past = 0.0
+        self.checkpoint_step = 0
+        self._ckpt_sim_time = 0.0
+        self._pending_restore = False
+        #: Crash iterations that already fired — a crash happens once,
+        #: so the restarted job runs past it.
+        self._crashes_fired: set[int] = set()
+        self._crash_iters = (
+            {c.iteration for c in spec.fault_plan.crashes}
+            if spec.fault_plan is not None
+            else set()
+        )
+        self.steps_done = 0
+        self._build()
+
+    def _build(self) -> None:
+        """(Re)construct cluster, trainer, and ledger for one segment."""
         from repro.core import CompsoCompressor
         from repro.data import make_image_data
         from repro.data.loaders import batch_indices
@@ -65,15 +163,14 @@ class FleetJob:
         from repro.obsv import LedgerConfig
         from repro.train import ClassificationTask
 
-        self.spec = spec
-        self.fabric = fabric
-        fabric.register(spec.name, spec.priority)
+        spec = self.spec
         self.cluster = SimCluster.from_world_size(
             spec.world_size,
             spec.gpus_per_node,
             seed=spec.seed,
-            network=network if network is not None else SLINGSHOT10,
+            network=self._network if self._network is not None else SLINGSHOT10,
             track="timing",
+            fault_plan=spec.fault_plan,
         )
         # Every collective this cluster prices goes through the shared
         # fabric, translated from job-local to fleet time.
@@ -81,7 +178,6 @@ class FleetJob:
         task = ClassificationTask(
             make_image_data(256, n_classes=5, size=8, noise=0.5, seed=spec.seed)
         )
-        self.ledger_path = Path(ledger_path) if ledger_path is not None else None
         self.trainer = DistributedKfacTrainer(
             resnet_proxy(n_classes=5, channels=8, rng=spec.seed + 3),
             task,
@@ -104,20 +200,16 @@ class FleetJob:
                 seed=spec.seed,
                 iterations=spec.iterations,
                 batch_size=spec.batch_size,
-                fleet={
-                    "job": spec.name,
-                    "priority": spec.priority,
-                    "world_size": spec.world_size,
-                    "arrival": spec.arrival,
-                },
+                fleet=self._fleet_manifest(),
             )
         self._batches = list(
             batch_indices(task.n, spec.batch_size, iterations=spec.iterations, seed=spec.seed)
         )
-        self.steps_done = 0
 
     def _price(self, op: str, start: float, seconds: float) -> float:
-        return self.fabric.acquire(self.spec.name, op, self.spec.arrival + start, seconds)
+        return self.fabric.acquire(self.spec.name, op, self.offset + start, seconds)
+
+    # -- clocks & accounting --------------------------------------------------
 
     @property
     def done(self) -> bool:
@@ -126,17 +218,160 @@ class FleetJob:
     @property
     def now(self) -> float:
         """The job's position on the fleet clock."""
-        return self.spec.arrival + self.cluster.time
+        return self.offset + self.cluster.time
+
+    @property
+    def work_time(self) -> float:
+        """Sim seconds priced across all segments (including lost work)."""
+        return self.sim_time_past + self.cluster.time
+
+    @property
+    def fault_delay_time(self) -> float:
+        """Critical-path sim seconds lost to straggler/jitter stalls."""
+        return self._fault_delay_past + self.cluster.fault_delay_seconds
+
+    @property
+    def useful_time(self) -> float:
+        """Sim seconds of surviving work, net of fabric and fault stretch.
+
+        Work rolled back by crashes, seconds spent waiting on fabric
+        contention or degradation windows, and straggler/jitter stalls
+        are not useful (waste inside a later-rolled-back segment is
+        subtracted once under each heading — a conservative
+        approximation).
+        """
+        waste = (
+            self.lost_work
+            + self.fault_delay_time
+            + self.fabric.contended_seconds.get(self.spec.name, 0.0)
+            + self.fabric.degraded_seconds.get(self.spec.name, 0.0)
+        )
+        return max(self.work_time - waste, 0.0)
+
+    def goodput(self) -> float:
+        """Useful sim seconds per fleet second of residency (1.0 = a solo
+        faultless job; crashes, backoff, queueing, contention, and fabric
+        degradation all lower it)."""
+        end = self.end if self.end is not None else self.now
+        residency = end - self.spec.arrival
+        if residency <= 0.0:
+            return 1.0
+        return self.useful_time / residency
+
+    def slo_met(self) -> bool | None:
+        """Whether the job finished inside its deadline (None = no SLO)."""
+        if self.spec.deadline is None:
+            return None
+        if self.state != "done" or self.end is None:
+            return False
+        return self.end - self.spec.arrival <= self.spec.deadline
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def resume(self, at: float) -> None:
+        """Admit (or re-admit) the job at fleet time ``at``.
+
+        After a crash or preemption the cluster/trainer are rebuilt from
+        scratch and the exact-resume checkpoint is restored, so the
+        continued trajectory is bit-identical to one that never stopped.
+        """
+        if self.state != "waiting":
+            raise RuntimeError(f"job {self.spec.name!r} is {self.state}, not waiting")
+        if self._pending_restore:
+            self._build()
+            if self.checkpoint_path is not None and self.checkpoint_step > 0:
+                self.trainer.restore_state(self.checkpoint_path)
+            self.steps_done = self.checkpoint_step
+            self._ckpt_sim_time = 0.0
+            self._pending_restore = False
+        self.offset = at
+        self.state = "running"
+
+    def checkpoint(self) -> None:
+        """Lightweight exact-resume checkpoint of the current step."""
+        if self.checkpoint_path is None:
+            return
+        self.trainer.save_state(self.checkpoint_path)
+        self.checkpoint_step = self.steps_done
+        self._ckpt_sim_time = self.cluster.time
+
+    def crash_rollback(self) -> float:
+        """Account a crash: everything past the checkpoint is lost work.
+
+        Returns the sim seconds rolled back.  The segment's fabric
+        windows stay recorded — the lost work really occupied the wire.
+        """
+        lost = self.cluster.time - self._ckpt_sim_time
+        self.sim_time_past += self.cluster.time
+        self._fault_delay_past += self.cluster.fault_delay_seconds
+        self.lost_work += lost
+        self._pending_restore = True
+        self.state = "waiting"
+        return lost
+
+    def preempt(self) -> None:
+        """Suspend the job at its current step (checkpoint first, so a
+        preemption costs queue position but zero work)."""
+        if self.state != "running":
+            raise RuntimeError(f"job {self.spec.name!r} is {self.state}, not running")
+        self.checkpoint()
+        self.sim_time_past += self.cluster.time
+        self._fault_delay_past += self.cluster.fault_delay_seconds
+        self.preemptions += 1
+        self._pending_restore = True
+        self.state = "waiting"
+        self.ready_time = self.now
+
+    def mark_failed(self, at: float) -> None:
+        """Terminal failure: retry budget exhausted."""
+        self.state = "failed"
+        self.end = at
+        self._finalize_ledger()
 
     def step(self) -> float:
-        """Run one training iteration; closes the ledger on the last."""
-        if self.done:
-            raise RuntimeError(f"job {self.spec.name!r} already finished")
-        loss = self.trainer.step(self._batches[self.steps_done])
+        """Run one training iteration; closes the ledger on the last.
+
+        Raises :class:`JobCrashed` when the fault plan schedules a whole-
+        job crash at this iteration (each crash fires exactly once)."""
+        if self.state != "running":
+            raise RuntimeError(f"job {self.spec.name!r} is {self.state}, not running")
+        nxt = self.steps_done
+        if nxt in self._crash_iters and nxt not in self._crashes_fired:
+            self._crashes_fired.add(nxt)
+            raise JobCrashed(self.spec.name, nxt)
+        loss = self.trainer.step(self._batches[nxt])
         self.steps_done += 1
-        if self.done and self.trainer.obsv is not None:
-            self.trainer.obsv.close()
+        if self.done:
+            self.state = "done"
+            self.end = self.now
+            self._finalize_ledger()
+        elif self.spec.checkpoint_every and self.steps_done % self.spec.checkpoint_every == 0:
+            self.checkpoint()
         return loss
+
+    # -- reporting ------------------------------------------------------------
+
+    def _fleet_manifest(self) -> dict:
+        return {
+            "job": self.spec.name,
+            "priority": self.spec.priority,
+            "world_size": self.spec.world_size,
+            "arrival": self.spec.arrival,
+            "state": self.state,
+            "restarts": self.restarts,
+            "preemptions": self.preemptions,
+            "time_lost_s": self.lost_work + self.backoff_total,
+            "goodput": self.goodput(),
+            "deadline": self.spec.deadline,
+            "slo_met": self.slo_met(),
+        }
+
+    def _finalize_ledger(self) -> None:
+        obsv = self.trainer.obsv
+        if obsv is None:
+            return
+        obsv.update_manifest(fleet=self._fleet_manifest())
+        obsv.close()
 
     @property
     def final_loss(self) -> float:

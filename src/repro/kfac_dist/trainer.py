@@ -106,9 +106,12 @@ class DistributedKfacTrainer:
         # channel can be declined (``reliable_channel=False``) to model
         # deployments whose collectives don't verify payloads — the
         # regime the guard subsystem is designed to survive.
+        # The timing track admits no data-plane faults (TRACK_PLANES), so
+        # a checksum channel there would only verify its own clean seal
+        # world_size times per broadcast — skip it.
         self._channel = (
             ReliableChannel(cluster)
-            if cluster.faults is not None and reliable_channel
+            if cluster.faults is not None and reliable_channel and not cluster.is_timing
             else None
         )
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -188,11 +191,15 @@ class DistributedKfacTrainer:
 
     def _trimmed_shards(self, global_idx: np.ndarray) -> list[np.ndarray]:
         world = self.cluster.world_size
-        if self.cluster.faults is not None and len(global_idx) % world:
+        rem = len(global_idx) % world
+        if self.cluster.faults is not None and rem and rem < len(global_idx):
             # Elastic continuation: after a world shrink the global batch
             # may not divide evenly; trim the remainder so shards stay
             # consistent (averaging rescales automatically to the new world).
-            global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
+            # When the batch is smaller than the world the remainder is the
+            # whole batch — keep it, the representative shard below still
+            # needs at least one sample.
+            global_idx = global_idx[: len(global_idx) - rem]
         if self.cluster.is_timing:
             # Representative rank: run one shard of the per-rank size so
             # compute timing matches what every rank would do.

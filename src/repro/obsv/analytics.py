@@ -134,4 +134,15 @@ def summarize(ledger: RunLedger) -> dict:
     if guard is not None:
         out["guard_remediations"] = len(guard.get("remediations", []))
         out["breaker_trips"] = guard.get("breaker", {}).get("trips", 0)
+    fleet = ledger.manifest.get("fleet")
+    if isinstance(fleet, dict) and "restarts" in fleet:
+        # Fleet lifecycle fields (restarts/SLO/goodput) only exist on
+        # ledgers written by a FleetScheduler with the failure machinery;
+        # older fleet ledgers summarize without them.
+        out["fleet_restarts"] = fleet.get("restarts", 0)
+        out["fleet_preemptions"] = fleet.get("preemptions", 0)
+        out["fleet_time_lost_s"] = fleet.get("time_lost_s", 0.0)
+        out["fleet_goodput"] = fleet.get("goodput")
+        if fleet.get("slo_met") is not None:
+            out["fleet_slo_met"] = 1.0 if fleet["slo_met"] else 0.0
     return out

@@ -69,6 +69,11 @@ DEFAULT_SPECS: dict[str, MetricSpec] = {
         MetricSpec("hidden_fraction", "higher", abs_tol=0.15),
         MetricSpec("guard_remediations", "lower", abs_tol=2.0),
         MetricSpec("breaker_trips", "lower", abs_tol=1.0),
+        MetricSpec("fleet_restarts", "lower", abs_tol=0.5),
+        MetricSpec("fleet_preemptions", "lower", abs_tol=1.0),
+        MetricSpec("fleet_time_lost_s", "lower", rel_tol=0.5, abs_tol=1e-6),
+        MetricSpec("fleet_goodput", "higher", rel_tol=0.25),
+        MetricSpec("fleet_slo_met", "higher"),
     )
 }
 

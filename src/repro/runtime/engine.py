@@ -290,6 +290,8 @@ class StreamRuntime:
             )
             if self.watchdog is not None and extras:
                 extras = self.watchdog.review(self, handle, extras)
+            if extras:
+                cluster.fault_delay_seconds += max(extras.values())
         tracer = get_tracer()
         world = max(len(cluster.ranks), 1)
         for r in cluster.ranks:

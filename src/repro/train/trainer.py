@@ -228,10 +228,13 @@ class DistributedSgdTrainer:
 
     def _trimmed_shards(self, global_idx: np.ndarray) -> list[np.ndarray]:
         world = self.cluster.world_size
-        if self.cluster.faults is not None and len(global_idx) % world:
+        rem = len(global_idx) % world
+        if self.cluster.faults is not None and rem and rem < len(global_idx):
             # Elastic continuation: trim the batch so it shards evenly
             # over the shrunken world (averaging rescales automatically).
-            global_idx = global_idx[: len(global_idx) - len(global_idx) % world]
+            # A batch smaller than the world is all remainder — keep it so
+            # the representative shard below stays non-empty.
+            global_idx = global_idx[: len(global_idx) - rem]
         if self.cluster.is_timing:
             # Representative rank: run one shard of the per-rank size so
             # compute timing matches what every rank would do.
