@@ -40,6 +40,7 @@ __all__ = [
     "gpusim",
     "faults",
     "guard",
+    "autotune",
     "obsv",
     "data",
     "train",

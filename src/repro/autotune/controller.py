@@ -1,0 +1,428 @@
+"""The closed-loop autotune controller and its trainer-facing config.
+
+:class:`AutotuneConfig` is the single knob surface; trainers accept
+``autotune=AutotuneConfig(...)`` (or a prebuilt controller) and call
+:meth:`AutotuneController.end_step` once per iteration, *before* the
+obsv ledger folds the step — so every decision lands in the step record
+that produced it.  ``autotune=None`` (the default) is bit-identical to
+a build without this subsystem: the controller only ever reads trainer
+state, owns its own seeded probe compressors, and mutates the training
+compressor exclusively through ``set_bounds``/``set_encoder`` when a
+decision actually fires.
+
+Decision loop, per step:
+
+1. observe what the clock charged the bound collective category
+   (``SimCluster.breakdown()`` delta) and fold it into the alpha-beta
+   fit, normalising out the fabric's current degradation factors;
+2. if the guard's circuit breaker has left the closed state, *veto*:
+   pin the safe candidate and record a ``veto`` decision — the breaker
+   owns the data path until it has proven clean again
+   (:meth:`repro.guard.Guard.autotune_veto`, DESIGN.md decision 10);
+3. otherwise predict every feasible menu candidate's modelled step time
+   under the current fabric factors and, if the best beats the active
+   config past the hysteresis band, apply it and record a ``retune``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.autotune.cost_model import (
+    AlphaBetaEstimator,
+    CostModel,
+    modelled_extra_seconds,
+)
+from repro.autotune.policy import HysteresisPolicy
+from repro.autotune.types import DEFAULT_MENU, CandidateConfig, Decision, round6
+from repro.telemetry import SIM_TRACK, get_metrics, get_tracer
+
+__all__ = ["AutotuneConfig", "AutotuneController", "as_autotune"]
+
+
+@dataclass
+class AutotuneConfig:
+    """Declarative configuration for the online autotuner.
+
+    ``initial`` names the menu entry that *describes the compressor the
+    trainer was constructed with* — the controller never mutates
+    anything until a decision fires, which is what keeps a
+    never-firing controller bit-identical to the plain run.
+    ``max_error`` is the fidelity gate: candidates whose worst-case
+    relative point error (``eb_f + eb_q``) exceeds it are never chosen.
+    """
+
+    menu: tuple[CandidateConfig, ...] = DEFAULT_MENU
+    initial: str = "default"
+    #: Candidate pinned while the guard's breaker vetoes the controller;
+    #: defaults to ``"identity"`` if present, else the tightest bounds.
+    safe: str | None = None
+    max_error: float = 0.05
+    warmup: int = 2
+    min_dwell: int = 3
+    min_improvement: float = 0.1
+    probe_elements: int = 65536
+    cr_smoothing: float = 0.5
+    #: Layers smaller than this travel dense regardless of the active
+    #: candidate (per-layer decision: tiny payloads are alpha-dominated).
+    min_payload_bytes: int = 0
+    alpha0: float = 5e-5
+    beta0: float = 1e-9
+    seed: int = 0
+
+    def build(self) -> "AutotuneController":
+        return AutotuneController(self)
+
+
+def as_autotune(
+    autotune: "AutotuneConfig | AutotuneController | None",
+) -> "AutotuneController | None":
+    """Normalise a trainer's ``autotune=`` argument to a controller."""
+    if autotune is None:
+        return None
+    if isinstance(autotune, AutotuneConfig):
+        return autotune.build()
+    return autotune
+
+
+class AutotuneController:
+    """Online cost-model controller over the compression stack."""
+
+    def __init__(self, config: AutotuneConfig | None = None):
+        self.config = config if config is not None else AutotuneConfig()
+        c = self.config
+        names = [cand.name for cand in c.menu]
+        if len(set(names)) != len(names):
+            raise ValueError(f"menu candidate names must be unique, got {names}")
+        by_name = {cand.name: cand for cand in c.menu}
+        if c.initial not in by_name:
+            raise ValueError(f"initial {c.initial!r} is not in the menu {names}")
+        safe = c.safe
+        if safe is None:
+            safe = (
+                "identity"
+                if "identity" in by_name
+                else min(c.menu, key=lambda cand: (cand.error_bound, cand.name)).name
+            )
+        if safe not in by_name:
+            raise ValueError(f"safe {safe!r} is not in the menu {names}")
+        if c.max_error <= 0:
+            raise ValueError(f"max_error must be > 0, got {c.max_error}")
+        if c.probe_elements < 1:
+            raise ValueError(f"probe_elements must be >= 1, got {c.probe_elements}")
+        if not 0 < c.cr_smoothing <= 1:
+            raise ValueError(f"cr_smoothing must be in (0, 1], got {c.cr_smoothing}")
+        if c.min_payload_bytes < 0:
+            raise ValueError(f"min_payload_bytes must be >= 0, got {c.min_payload_bytes}")
+        for cand in (by_name[c.initial], by_name[safe]):
+            if cand.error_bound > c.max_error:
+                raise ValueError(
+                    f"candidate {cand.name!r} violates max_error={c.max_error}"
+                )
+        self._by_name = by_name
+        self.safe_name = safe
+        self.active: CandidateConfig = by_name[c.initial]
+        self.policy = HysteresisPolicy(
+            warmup=c.warmup, min_dwell=c.min_dwell, min_improvement=c.min_improvement
+        )
+        self.model = CostModel(
+            AlphaBetaEstimator(alpha0=c.alpha0, beta0=c.beta0),
+            cr_smoothing=c.cr_smoothing,
+        )
+        #: Append-only decision timeline (the obsv ledger keeps a cursor).
+        self.decisions: list[Decision] = []
+        #: Modelled codec-minus-aggregation seconds accumulated so far —
+        #: the clock-uncharged half of the end-to-end metric.
+        self.modelled_extra_seconds = 0.0
+        self._probed = False
+        self._last_change = -1
+        self._veto_active = False
+        self._last_breakdown: dict[str, float] = {}
+        # Bound subsystems (all optional; duck-typed).
+        self._trainer = None
+        self._cluster = None
+        self._guard = None
+        self._compressor = None
+        self._health = None
+        self._category = "kfac_allgather"
+
+    # -- wiring ----------------------------------------------------------------
+
+    def bind(
+        self,
+        *,
+        trainer=None,
+        cluster=None,
+        guard=None,
+        compressor=None,
+        category: str | None = None,
+        health=None,
+    ) -> "AutotuneController":
+        """Attach the run's subsystems (None leaves a binding as-is).
+
+        ``category`` is the collective category whose clock charges feed
+        the alpha-beta fit (``kfac_allgather`` for the K-FAC trainer,
+        ``grad_allreduce`` for SGD).  ``health`` is an optional callable
+        ``step -> (lat_factor, bw_factor)`` (or a scalar factor) layered
+        on top of the fault plane's link degradation — e.g. a fleet job
+        can pass ``lambda t: fabric.degradation_factor(now(t))`` so
+        :meth:`repro.fleet.SharedFabric.degrade` windows steer decisions.
+        """
+        if trainer is not None:
+            self._trainer = trainer
+        if cluster is not None:
+            self._cluster = cluster
+            self._last_breakdown = dict(cluster.breakdown())
+        if guard is not None:
+            self._guard = guard
+        if compressor is not None:
+            self._compressor = compressor
+        if category is not None:
+            self._category = category
+        if health is not None:
+            self._health = health
+        return self
+
+    # -- data-path hooks ---------------------------------------------------------
+
+    @property
+    def wants_sample(self) -> bool:
+        """True until the one-shot CR probe has run (trainers pass a live
+        gradient slice to :meth:`end_step` while this is set)."""
+        return not self._probed
+
+    def active_compressor(self, compressor):
+        """The step's compressor under the active candidate (None = dense)."""
+        if compressor is None or self.active.is_identity:
+            return None if self.active.is_identity else compressor
+        return compressor
+
+    def layer_compressor(self, layer: int, nbytes: float, compressor):
+        """Per-layer decision: identity for sub-threshold payloads."""
+        if compressor is None or self.active.is_identity:
+            return None if self.active.is_identity else compressor
+        if nbytes < self.config.min_payload_bytes:
+            return None
+        return compressor
+
+    # -- signals ---------------------------------------------------------------
+
+    def _now(self) -> float:
+        return float(self._cluster.time) if self._cluster is not None else 0.0
+
+    def _observed_comm(self) -> float:
+        """Seconds the bound category charged since the last step."""
+        if self._cluster is None:
+            return 0.0
+        bd = dict(self._cluster.breakdown())
+        delta = bd.get(self._category, 0.0) - self._last_breakdown.get(self._category, 0.0)
+        self._last_breakdown = bd
+        return max(delta, 0.0)
+
+    def _network_factors(self, step: int) -> tuple[float, float]:
+        """(latency, bandwidth) cost multipliers for the current step."""
+        lat = bw = 1.0
+        cluster = self._cluster
+        if cluster is not None and cluster.faults is not None:
+            lat, bw = cluster.faults.network_factors()
+        if self._health is not None:
+            h = self._health(step)
+            try:
+                h_lat, h_bw = h
+            except TypeError:
+                h_lat = h_bw = float(h)
+            lat *= h_lat
+            bw *= h_bw
+        return lat, bw
+
+    def _mutation_target(self):
+        """Innermost bound compressor exposing ``set_bounds``."""
+        comp = self._compressor
+        while comp is not None and not hasattr(comp, "set_bounds"):
+            comp = getattr(comp, "inner", None)
+        return comp
+
+    # -- decision loop ---------------------------------------------------------
+
+    def end_step(
+        self,
+        *,
+        step: int,
+        wire_bytes: float,
+        dense_bytes: float,
+        n_messages: int,
+        sample=None,
+    ) -> None:
+        """Observe one finished iteration and possibly retune.
+
+        Called by the trainer after the update is applied and before the
+        obsv ledger records the step.  ``n_messages`` is the number of
+        collective launches the step's payload travelled in (layer count
+        for K-FAC's per-layer broadcast, bucket count for SGD).
+        """
+        step = int(step)
+        n_layers = max(int(n_messages), 1)
+        comm = self._observed_comm()
+        lat, bw = self._network_factors(step)
+        travelled = wire_bytes if wire_bytes > 0 else dense_bytes
+        if travelled > 0 and comm > 0:
+            # Normalise the fabric factors out so the fit stays a
+            # clean-fabric property; predictions scale them back in.
+            self.model.estimator.observe(n_layers * lat, travelled * bw, comm)
+        if sample is not None and not self._probed:
+            self.model.probe(
+                sample,
+                self.config.menu,
+                seed=self.config.seed,
+                probe_elements=self.config.probe_elements,
+            )
+            self._probed = True
+        if not self.active.is_identity and wire_bytes > 0 and dense_bytes > 0:
+            self.model.update_cr(self.active.name, dense_bytes / wire_bytes)
+        self.modelled_extra_seconds += modelled_extra_seconds(
+            self.active,
+            dense_bytes=dense_bytes,
+            wire_bytes=wire_bytes if wire_bytes > 0 else dense_bytes,
+            n_layers=n_layers,
+            alpha=self.config.alpha0,
+        )
+
+        # Breaker veto: the guard owns the data path until it recloses.
+        guard = self._guard
+        veto = getattr(guard, "autotune_veto", None)
+        if veto is not None and veto():
+            if not self._veto_active:
+                self._veto_active = True
+                safe = self._by_name[self.safe_name]
+                frm = self.active.name
+                self._apply(safe, step)
+                self._record(
+                    Decision(
+                        step=step,
+                        kind="veto",
+                        from_config=frm,
+                        to_config=safe.name,
+                        reason="breaker_not_closed",
+                        signals={"lat_factor": round6(lat), "bw_factor": round6(bw)},
+                    )
+                )
+            return
+        self._veto_active = False
+
+        if not self._probed or not self.policy.ready(step, self._last_change):
+            return
+        dense = dense_bytes if dense_bytes > 0 else travelled
+        if dense <= 0:
+            return
+        predictions = {
+            cand.name: self.model.predict(
+                cand,
+                dense_bytes=dense,
+                n_layers=n_layers,
+                lat_factor=lat,
+                bw_factor=bw,
+            )
+            for cand in self.config.menu
+            if cand.error_bound <= self.config.max_error
+        }
+        t_active = predictions.get(self.active.name)
+        if t_active is None:
+            return
+        # Deterministic argmin: predicted time, then name.
+        best_name = min(predictions, key=lambda n: (predictions[n], n))
+        if best_name == self.active.name:
+            return
+        t_best = predictions[best_name]
+        if not self.policy.should_switch(t_active, t_best):
+            return
+        frm = self.active.name
+        self._apply(self._by_name[best_name], step)
+        signals = {
+            "lat_factor": round6(lat),
+            "bw_factor": round6(bw),
+            **{f"pred_{name}": round6(t) for name, t in predictions.items()},
+        }
+        alpha, beta = self.model.estimator.fit()
+        signals["alpha"] = round6(alpha)
+        signals["beta"] = round6(beta)
+        if guard is not None:
+            signals["guard_events"] = len(guard.timeline)
+        self._record(
+            Decision(
+                step=step,
+                kind="retune",
+                from_config=frm,
+                to_config=best_name,
+                reason="predicted_improvement",
+                signals=signals,
+            )
+        )
+
+    def _apply(self, candidate: CandidateConfig, step: int) -> None:
+        """Realise a candidate on the bound compressor stack."""
+        self.active = candidate
+        self._last_change = step
+        if candidate.is_identity:
+            # Realised by active_compressor()/layer_compressor() returning
+            # None — the trainer's lossless broadcast path.
+            return
+        target = self._mutation_target()
+        if target is not None:
+            target.set_bounds(candidate.eb_f, candidate.eb_q)
+            if hasattr(target, "set_encoder"):
+                target.set_encoder(candidate.encoder)
+
+    def _record(self, decision: Decision) -> None:
+        self.decisions.append(decision)
+        m = get_metrics()
+        if m.enabled:
+            m.counter("autotune.decisions", kind=decision.kind).inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                f"autotune:{decision.kind}:{decision.to_config}",
+                "autotune_event",
+                0.0,
+                start=self._now(),
+                track=SIM_TRACK,
+                iteration=decision.step,
+            )
+
+    # -- reporting -------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-safe config description for the ledger manifest."""
+        c = self.config
+        return {
+            "menu": [cand.to_dict() for cand in c.menu],
+            "initial": c.initial,
+            "safe": self.safe_name,
+            "max_error": round6(c.max_error),
+            "warmup": c.warmup,
+            "min_dwell": c.min_dwell,
+            "min_improvement": round6(c.min_improvement)
+            if math.isfinite(c.min_improvement)
+            else "inf",
+            "probe_elements": c.probe_elements,
+            "cr_smoothing": round6(c.cr_smoothing),
+            "min_payload_bytes": c.min_payload_bytes,
+            "alpha0": round6(c.alpha0),
+            "beta0": round6(c.beta0),
+            "seed": c.seed,
+            "category": self._category,
+        }
+
+    def report(self) -> dict:
+        """End-of-run summary folded into the ledger's final record."""
+        kinds: dict[str, int] = {}
+        for d in self.decisions:
+            kinds[d.kind] = kinds.get(d.kind, 0) + 1
+        return {
+            "active": self.active.name,
+            "retunes": kinds.get("retune", 0),
+            "vetoes": kinds.get("veto", 0),
+            "decisions": [d.to_dict() for d in self.decisions],
+            "modelled_extra_seconds": round6(self.modelled_extra_seconds),
+            "model": self.model.snapshot(),
+        }

@@ -1,0 +1,127 @@
+"""Typed candidate/decision records for the online autotuner.
+
+A :class:`CandidateConfig` names one point in the compression design
+space the controller can move to — ``{compressor, encoder, aggregation
+factor, (eb_f, eb_q)}`` — and a :class:`Decision` is one recorded
+controller action (a retune, or a breaker veto pin).  Both serialise to
+deterministic JSON-safe dicts so the obsv ledger can store them
+byte-identically across runs with the same ``(seed, config)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["CandidateConfig", "Decision", "DEFAULT_MENU", "round6"]
+
+#: Compressor families the controller knows how to realise online.
+_COMPRESSORS = ("compso", "identity")
+
+
+def round6(value: float) -> float:
+    """Round to 6 significant digits for stable, readable JSON floats."""
+    v = float(value)
+    if not math.isfinite(v) or v == 0.0:
+        return v
+    return float(f"{v:.6g}")
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One selectable configuration of the compression stack.
+
+    ``aggregation`` is the COMPSO message-aggregation factor the cost
+    model credits (fewer, larger encoder invocations and collective
+    launches); it is honoured by the *model* — see DESIGN.md decision 10
+    for why the simulated data plane keeps per-layer transfers.
+    """
+
+    name: str
+    compressor: str = "compso"
+    encoder: str = "ans"
+    eb_f: float = 4e-3
+    eb_q: float = 4e-3
+    aggregation: int = 1
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("candidate needs a non-empty name")
+        if self.compressor not in _COMPRESSORS:
+            raise ValueError(
+                f"candidate {self.name!r}: unknown compressor {self.compressor!r}; "
+                f"choose from {_COMPRESSORS}"
+            )
+        if self.compressor == "compso":
+            from repro.encoders.registry import list_encoders
+
+            if self.encoder not in list_encoders():
+                raise ValueError(
+                    f"candidate {self.name!r}: unknown encoder {self.encoder!r}; "
+                    f"choose from {list_encoders()}"
+                )
+        if self.eb_f < 0 or self.eb_q < 0:
+            raise ValueError(f"candidate {self.name!r}: error bounds must be >= 0")
+        if self.aggregation < 1:
+            raise ValueError(f"candidate {self.name!r}: aggregation must be >= 1")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.compressor == "identity"
+
+    @property
+    def error_bound(self) -> float:
+        """Worst-case relative point error the candidate can introduce
+        (the ``(eb_f + eb_q) * max|g|`` contract); 0 for identity."""
+        return 0.0 if self.is_identity else self.eb_f + self.eb_q
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "compressor": self.compressor,
+            "encoder": self.encoder if not self.is_identity else None,
+            "eb_f": round6(self.eb_f),
+            "eb_q": round6(self.eb_q),
+            "aggregation": int(self.aggregation),
+        }
+
+
+#: Default controller menu: the lossless escape hatch plus COMPSO at the
+#: paper's conservative/aggressive bounds, with and without modelled
+#: message aggregation, and one alternative-encoder point.
+DEFAULT_MENU: tuple[CandidateConfig, ...] = (
+    CandidateConfig("identity", compressor="identity", encoder="ans", eb_f=0.0, eb_q=0.0),
+    CandidateConfig("conservative", encoder="ans", eb_f=2e-3, eb_q=2e-3, aggregation=1),
+    CandidateConfig("default", encoder="ans", eb_f=4e-3, eb_q=4e-3, aggregation=4),
+    CandidateConfig("aggressive", encoder="ans", eb_f=8e-3, eb_q=8e-3, aggregation=8),
+    CandidateConfig("aggressive-bitcomp", encoder="bitcomp", eb_f=8e-3, eb_q=8e-3, aggregation=8),
+)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One controller action, recorded as a typed ledger event.
+
+    ``kind`` is ``"retune"`` (the cost model re-picked the active
+    candidate) or ``"veto"`` (the guard's circuit breaker left the
+    closed state and the controller pinned the safe candidate).
+    ``signals`` carries the model state behind the decision — fitted
+    alpha/beta, fabric factors, and the per-candidate predictions.
+    """
+
+    step: int
+    kind: str
+    from_config: str
+    to_config: str
+    reason: str
+    signals: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "step": int(self.step),
+            "kind": self.kind,
+            "from": self.from_config,
+            "to": self.to_config,
+            "reason": self.reason,
+            "signals": {k: self.signals[k] for k in sorted(self.signals)},
+        }

@@ -18,6 +18,13 @@ Commands:
 * ``overlap`` — train the same K-FAC job blocking and with scheduled
   compute/communication overlap, verify the two are bit-identical, and
   report the measured hidden-communication split;
+* ``tune`` — offline error-bound search: find the ``(eb_f, eb_q)`` pair
+  maximising compression ratio under a gradient-fidelity budget on
+  sample gradients;
+* ``autotune`` — run a K-FAC job with the closed-loop online autotuner
+  (``repro.autotune``) re-picking the compression config from live
+  cost-model signals, optionally under an injected link-degradation
+  window, and record every decision in the run ledger;
 * ``record`` — run a seeded guarded+overlapped training job and write
   its run ledger (the canonical per-run observability artifact);
 * ``report`` — render a recorded ledger as a self-contained HTML
@@ -95,6 +102,20 @@ def cmd_compress(args: argparse.Namespace) -> int:
         x = np.where(rng.random(n) < 0.12, big, small).astype(np.float32)
         print(f"(no --input given; using a synthetic {n}-element K-FAC-like tensor)")
     comp = _make_compressor(args.compressor, args.seed)
+    if args.encoder:
+        from repro.encoders import list_encoders
+
+        if args.encoder not in list_encoders():
+            raise SystemExit(
+                f"unknown encoder {args.encoder!r}; choose from {list_encoders()}"
+            )
+        if not hasattr(comp, "set_encoder"):
+            raise SystemExit(
+                f"compressor {args.compressor!r} does not take a lossless "
+                "encoder (--encoder applies to compso variants)"
+            )
+        comp.set_encoder(args.encoder)
+        print(f"(lossless encoder: {args.encoder})")
     ct = comp.compress(x)
     restored = comp.decompress(ct)
     err = float(np.abs(restored - x.ravel().reshape(restored.shape)).max())
@@ -104,6 +125,49 @@ def cmd_compress(args: argparse.Namespace) -> int:
     print(f"wire bytes     : {ct.nbytes}")
     print(f"ratio          : {x.nbytes / ct.nbytes:.2f}x")
     print(f"max abs error  : {err:.3e}  ({err / vmax:.2e} of max magnitude)" if vmax else "")
+    return 0
+
+
+def _sample_gradients(args: argparse.Namespace) -> list[np.ndarray]:
+    """Sample gradients for offline tuning: a ``.npy`` file or the same
+    synthetic K-FAC-like mixture ``compress`` demos on."""
+    if args.input:
+        return [np.load(args.input).astype(np.float32)]
+    rng = np.random.default_rng(args.seed)
+    grads = []
+    for _ in range(args.samples):
+        n = args.size
+        small = rng.standard_normal(n) * 1e-4
+        big = rng.standard_normal(n) * np.exp(rng.standard_normal(n)) * 5e-2
+        grads.append(np.where(rng.random(n) < 0.12, big, small).astype(np.float32))
+    return grads
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro.autotune import FidelityBudget, autotune_bounds
+
+    grads = _sample_gradients(args)
+    if not args.input:
+        print(
+            f"(no --input given; tuning on {args.samples} synthetic "
+            f"{args.size}-element K-FAC-like tensors)"
+        )
+    budget = FidelityBudget(min_cosine=args.min_cosine, max_rel_l2=args.max_rel_l2)
+    try:
+        result = autotune_bounds(
+            grads, budget=budget, encoder=args.encoder, seed=args.seed
+        )
+    except ValueError as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        return 1
+    print(f"budget         : cosine >= {budget.min_cosine}, rel L2 <= {budget.max_rel_l2}")
+    print(f"encoder        : {args.encoder}")
+    print(f"chosen eb_f    : {result.eb_f:.6g}")
+    print(f"chosen eb_q    : {result.eb_q:.6g}")
+    print(f"achieved ratio : {result.ratio:.2f}x")
+    print(f"worst cosine   : {result.cosine:.6f}")
+    print(f"worst rel L2   : {result.rel_l2:.2e}")
+    print(f"probes         : {len(result.trace)}")
     return 0
 
 
@@ -395,6 +459,120 @@ def cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro autotune`` presets: the same seeded K-FAC job run with a
+#: fixed compression config, with the closed-loop controller on a clean
+#: fabric, and with the controller under an injected mid-run
+#: link-degradation window (the case it exists for).
+_AUTOTUNE_PRESETS = {
+    "static": {"autotune": False, "degraded": False},
+    "autotuned": {"autotune": True, "degraded": False},
+    "autotuned-degraded": {"autotune": True, "degraded": True},
+}
+
+
+def cmd_autotune(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.autotune import AutotuneConfig
+    from repro.core import CompsoCompressor
+    from repro.data import make_image_data
+    from repro.distributed import SimCluster
+    from repro.faults import FaultPlan, LinkDegradation
+    from repro.guard.guard import GuardConfig
+    from repro.kfac_dist import DistributedKfacTrainer
+    from repro.models import resnet_proxy
+    from repro.obsv import LedgerConfig, autotune_timeline, load_ledger, summarize
+    from repro.train import ClassificationTask
+
+    preset = _AUTOTUNE_PRESETS[args.preset]
+    start = args.iterations // 3
+    stop = max(2 * args.iterations // 3, start + 1)
+    plan = None
+    if preset["degraded"]:
+        plan = FaultPlan(
+            degradations=[
+                LinkDegradation(
+                    start=start,
+                    stop=stop,
+                    latency_factor=args.latency_factor,
+                    bandwidth_factor=args.bandwidth_factor,
+                )
+            ]
+        )
+    autotune = None
+    if preset["autotune"]:
+        autotune = AutotuneConfig(
+            initial="identity",
+            warmup=args.warmup,
+            min_dwell=args.min_dwell,
+            seed=args.seed,
+        )
+    task = ClassificationTask(
+        make_image_data(256, n_classes=5, size=8, noise=0.5, seed=0)
+    )
+    cluster = SimCluster(args.nodes, args.gpus_per_node, seed=0, fault_plan=plan)
+    trainer = DistributedKfacTrainer(
+        resnet_proxy(n_classes=5, channels=args.channels, rng=3),
+        task,
+        cluster,
+        lr=0.05,
+        inv_update_freq=2,
+        compressor=CompsoCompressor(4e-3, 4e-3, seed=0),
+        guard=GuardConfig(),
+        obsv=LedgerConfig(args.out, note=f"autotune preset={args.preset}"),
+        autotune=autotune,
+        reliable_channel=False,
+    )
+    with telemetry.session():
+        trainer.train(
+            iterations=args.iterations,
+            batch_size=args.batch_size,
+            eval_every=args.iterations,
+            seed=args.seed,
+        )
+    ledger = load_ledger(args.out)
+    summary = summarize(ledger)
+    controller = trainer.autotune
+    if controller is not None:
+        extra = controller.modelled_extra_seconds
+    else:
+        # The static run holds the "default" menu entry the whole way.
+        from repro.autotune import DEFAULT_MENU, replay_extra_seconds
+
+        default = next(c for c in DEFAULT_MENU if c.name == "default")
+        extra = replay_extra_seconds(ledger.steps, default, alpha=AutotuneConfig().alpha0)
+    window = f"[{start}, {stop})" if preset["degraded"] else "none"
+    print(f"preset={args.preset} iterations={args.iterations} degraded window {window}")
+    print(f"wrote {args.out} ({len(ledger.steps)} step records)")
+    for key, value in summary.items():
+        print(f"  {key:22s} {value}")
+    print(f"  modelled extra        {extra:.6g} s")
+    print(f"  modelled end-to-end   {summary['sim_time'] + extra:.6g} s")
+    decisions = autotune_timeline(ledger)
+    retunes = sum(1 for d in decisions if d.get("kind") == "retune")
+    if controller is not None:
+        print(f"decisions ({len(decisions)}):")
+        for d in decisions:
+            print(
+                f"  step {d.get('step'):3d}: {d.get('kind'):6s} "
+                f"{d.get('from')} -> {d.get('to')} ({d.get('reason')})"
+            )
+        if not decisions:
+            print("  (none)")
+    if args.min_retunes is not None and retunes < args.min_retunes:
+        print(
+            f"ERROR: expected >= {args.min_retunes} retune decisions, saw {retunes}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.max_retunes is not None and retunes > args.max_retunes:
+        print(
+            f"ERROR: expected <= {args.max_retunes} retune decisions, saw {retunes}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.obsv import load_ledger, render_markdown, write_report
 
@@ -507,9 +685,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compress", help="compress a tensor and report ratio/error")
     p.add_argument("--input", help=".npy file of float32 values (synthetic demo if omitted)")
     p.add_argument("--compressor", default="compso")
+    p.add_argument(
+        "--encoder",
+        default="",
+        help="lossless encoder from repro.encoders (compso variants only)",
+    )
     p.add_argument("--size", type=int, default=1 << 20, help="synthetic tensor size")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser(
+        "tune", help="offline (eb_f, eb_q) search under a fidelity budget"
+    )
+    p.add_argument("--input", help=".npy file of float32 gradients (synthetic if omitted)")
+    p.add_argument("--size", type=int, default=1 << 18, help="synthetic tensor size")
+    p.add_argument("--samples", type=int, default=3, help="synthetic sample count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--min-cosine", type=float, default=0.999, help="fidelity: min cosine")
+    p.add_argument("--max-rel-l2", type=float, default=0.05, help="fidelity: max rel L2")
+    p.add_argument("--encoder", default="ans", help="lossless encoder to tune with")
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("demo-train", help="quick distributed K-FAC + COMPSO demo")
     p.add_argument("--ranks", type=int, default=4)
@@ -580,6 +775,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-guard", action="store_true", help="disable the guard layer")
     p.add_argument("--no-overlap", action="store_true", help="disable the overlap runtime")
     p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser(
+        "autotune",
+        help="run a K-FAC job with the closed-loop online autotuner "
+        "(optionally under a link-degradation window)",
+    )
+    p.add_argument("--preset", default="autotuned", choices=sorted(_AUTOTUNE_PRESETS))
+    p.add_argument("--out", default="autotune.ledger", help="ledger output path")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--gpus-per-node", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=12)
+    p.add_argument("--batch-size", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--channels", type=int, default=16, help="proxy model width")
+    p.add_argument(
+        "--latency-factor",
+        type=float,
+        default=4.0,
+        help="link-degradation latency multiplier (degraded preset)",
+    )
+    p.add_argument(
+        "--bandwidth-factor",
+        type=float,
+        default=64.0,
+        help="link-degradation bandwidth divisor (degraded preset)",
+    )
+    p.add_argument("--warmup", type=int, default=2, help="steps before the first decision")
+    p.add_argument("--min-dwell", type=int, default=2, help="min steps between decisions")
+    p.add_argument(
+        "--min-retunes",
+        type=int,
+        default=None,
+        help="exit non-zero unless at least this many retunes fired (CI gate)",
+    )
+    p.add_argument(
+        "--max-retunes",
+        type=int,
+        default=None,
+        help="exit non-zero if more than this many retunes fired (CI gate)",
+    )
+    p.set_defaults(func=cmd_autotune)
 
     p = sub.add_parser("report", help="render a ledger as HTML dashboard + markdown")
     p.add_argument("ledger", help="path to a recorded .ledger file")

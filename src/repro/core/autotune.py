@@ -39,6 +39,19 @@ class FidelityBudget:
     #: Maximum relative L2 error of the decompressed gradient.
     max_rel_l2: float = 0.05
 
+    def __post_init__(self):
+        if not 0 < self.min_cosine <= 1:
+            raise ValueError(
+                f"min_cosine must be in (0, 1], got {self.min_cosine!r} "
+                "(1.0 demands a lossless roundtrip; values <= 0 accept "
+                "anti-aligned gradients)"
+            )
+        if not self.max_rel_l2 > 0:
+            raise ValueError(
+                f"max_rel_l2 must be > 0, got {self.max_rel_l2!r} "
+                "(0 or less is unsatisfiable for any lossy compressor)"
+            )
+
     def check(self, original: np.ndarray, restored: np.ndarray) -> bool:
         x = original.ravel().astype(np.float64)
         y = restored.ravel().astype(np.float64)

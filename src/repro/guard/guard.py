@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.guard.health import DivergenceDetector, HealthReport
-from repro.guard.policy import CircuitBreaker, GuardContext, PolicyEngine
+from repro.guard.policy import BREAKER_CLOSED, CircuitBreaker, GuardContext, PolicyEngine
 from repro.guard.sentinels import contract_error, scan_tensor
 from repro.guard.sentinels import safe_eigen as _safe_eigen
 from repro.guard.watchdog import CollectiveWatchdog
@@ -189,6 +189,19 @@ class Guard:
         if m.enabled:
             m.counter("guard.bypass").inc()
         return None
+
+    def autotune_veto(self) -> bool:
+        """Breaker-based veto for the online autotuner (repro.autotune).
+
+        While the circuit breaker is anywhere but fully closed —
+        including the half-open probation window — the autotuner must
+        not retune: the breaker owns the data path until the stack has
+        proven clean again, and a controller chasing throughput mid-
+        remediation would fight it.  Closed-loop decisions live outside
+        the policy engine but defer to it through this one predicate
+        (DESIGN.md decision 10).
+        """
+        return self.breaker.state != BREAKER_CLOSED
 
     def scan(self, flat: np.ndarray, *, what: str = "gradient") -> np.ndarray:
         """NaN/Inf + magnitude sentinel; returns the (possibly scrubbed) tensor."""

@@ -66,6 +66,7 @@ class DistributedKfacTrainer:
         guard=None,
         reliable_channel: bool = True,
         obsv=None,
+        autotune=None,
     ):
         self.model = model
         self.task = task
@@ -132,6 +133,21 @@ class DistributedKfacTrainer:
         #: accounting, and guard events into one artifact per run.
         #: ``None`` (the default) is bit-identical to before — the
         #: writer only reads trainer state and never consumes RNG.
+        #: Optional :class:`repro.autotune.AutotuneConfig` (or controller):
+        #: closed-loop cost-model retuning of the compression stack.
+        #: ``None`` (the default) is bit-identical to before — the
+        #: controller only reads trainer state and owns its own probe RNG.
+        from repro.autotune.controller import as_autotune
+
+        self.autotune = as_autotune(autotune)
+        if self.autotune is not None:
+            self.autotune.bind(
+                trainer=self,
+                cluster=cluster,
+                guard=self.guard,
+                compressor=self.compressor,
+                category="kfac_allgather",
+            )
         from repro.obsv.ledger import as_ledger
 
         self.obsv = as_ledger(obsv)
@@ -144,6 +160,7 @@ class DistributedKfacTrainer:
                 guard=self.guard,
                 compressor=self.compressor,
                 factor_compressor=self.factor_compressor,
+                autotune=self.autotune,
             )
 
     def _layer_dims(self, idx: int) -> tuple[int, int]:
@@ -289,6 +306,9 @@ class DistributedKfacTrainer:
         # KAISA communication pattern).  The guard's circuit breaker can
         # force the lossless path for the whole step.
         compressor = self.compressor if guard is None else guard.active(self.compressor)
+        autotune = self.autotune
+        if autotune is not None:
+            compressor = autotune.active_compressor(compressor)
         wire = 0.0
         original = 0.0
         layer_wire: list[tuple[int, float, float]] = []
@@ -298,16 +318,21 @@ class DistributedKfacTrainer:
                 pg = self.kfac.precondition(i)
             original += pg.nbytes
             owner_pg = pg
-            if compressor is not None and self._channel is not None:
+            comp_i = (
+                compressor
+                if autotune is None
+                else autotune.layer_compressor(i, pg.nbytes, compressor)
+            )
+            if comp_i is not None and self._channel is not None:
                 pg, payload_bytes = self._reliable_allgather(pg, i, tracer)
-            elif compressor is not None:
-                ct = compressor.compress(pg)
+            elif comp_i is not None:
+                ct = comp_i.compress(pg)
                 payload_bytes = ct.nbytes
                 with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
                     received = self.cluster.broadcast(
                         ct, root=self.owners[i], nbytes=payload_bytes, category="kfac_allgather"
                     )[0]
-                pg = self._guard_decode(received, owner_pg, compressor, i)
+                pg = self._guard_decode(received, owner_pg, comp_i, i)
             else:
                 payload_bytes = pg.nbytes
                 with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
@@ -374,6 +399,20 @@ class DistributedKfacTrainer:
         mean_loss = float(np.mean(losses))
         self.history.losses.append(mean_loss)
         self.history.lrs.append(self.kfac.lr)
+        if self.autotune is not None:
+            # Decide *before* the ledger folds the step so the decision
+            # lands in the step record that produced it; a retune takes
+            # effect from the next iteration's compression.
+            sample = None
+            if self.autotune.wants_sample and precond:
+                sample = precond[min(precond)]
+            self.autotune.end_step(
+                step=self.t,
+                wire_bytes=wire,
+                dense_bytes=original,
+                n_messages=len(layer_wire) if layer_wire else len(precond),
+                sample=sample,
+            )
         m = get_metrics()
         if m.enabled:
             m.gauge("train.loss").set(mean_loss)
@@ -490,6 +529,9 @@ class DistributedKfacTrainer:
         # owner of layer i+1 preconditions (KAISA's cross-layer overlap,
         # scheduled instead of assumed).
         compressor = self.compressor if guard is None else guard.active(self.compressor)
+        autotune = self.autotune
+        if autotune is not None:
+            compressor = autotune.active_compressor(compressor)
         wire = 0.0
         original = 0.0
         layer_wire: list[tuple[int, float, float]] = []
@@ -507,14 +549,19 @@ class DistributedKfacTrainer:
                 )
             original += pg.nbytes
             originals[i] = pg
-            if compressor is not None and self._channel is not None:
+            comp_i = (
+                compressor
+                if autotune is None
+                else autotune.layer_compressor(i, pg.nbytes, compressor)
+            )
+            if comp_i is not None and self._channel is not None:
                 # The checksum/retry protocol is barrier-synchronous even
                 # under the runtime: retries must settle before the next
                 # transfer can be priced, so this transfer stays blocking.
                 pg, payload_bytes = self._reliable_allgather(pg, i, tracer)
                 precond[i] = pg
-            elif compressor is not None:
-                ct = compressor.compress(pg)
+            elif comp_i is not None:
+                ct = comp_i.compress(pg)
                 payload_bytes = ct.nbytes
                 with tracer.span("allgather", "comm", layer=i, nbytes=payload_bytes):
                     bcast_handles[i] = (
@@ -524,7 +571,7 @@ class DistributedKfacTrainer:
                             nbytes=payload_bytes,
                             category="kfac_allgather",
                         ),
-                        True,
+                        comp_i,
                     )
             else:
                 payload_bytes = pg.nbytes
@@ -536,15 +583,15 @@ class DistributedKfacTrainer:
                             nbytes=payload_bytes,
                             category="kfac_allgather",
                         ),
-                        False,
+                        None,
                     )
             wire += payload_bytes
             layer_wire.append((i, payload_bytes, pg.nbytes))
         with tracer.span("allgather_wait", "comm"):
-            for i, (handle, compressed) in bcast_handles.items():
+            for i, (handle, comp_i) in bcast_handles.items():
                 got = handle.wait()[0]
-                if compressed:
-                    precond[i] = self._guard_decode(got, originals[i], compressor, i)
+                if comp_i is not None:
+                    precond[i] = self._guard_decode(got, originals[i], comp_i, i)
                 elif guard is not None:
                     precond[i] = guard.scan(got, what="kfac_allgather").reshape(
                         originals[i].shape

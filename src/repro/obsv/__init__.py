@@ -18,6 +18,7 @@ it and to compare two of them under tolerance bands.
 from __future__ import annotations
 
 from repro.obsv.analytics import (
+    autotune_timeline,
     bound_series,
     cr_series,
     guard_timeline,
@@ -60,6 +61,7 @@ __all__ = [
     "RunLedger",
     "SCHEMA_VERSION",
     "as_ledger",
+    "autotune_timeline",
     "bound_series",
     "cr_series",
     "describe_compressor",

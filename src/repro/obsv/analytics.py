@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.obsv.ledger import RunLedger
 
 __all__ = [
+    "autotune_timeline",
     "bound_series",
     "cr_series",
     "guard_timeline",
@@ -68,6 +69,23 @@ def guard_timeline(ledger: RunLedger) -> list[dict]:
     for r in ledger.steps:
         for event in r.get("guard_events", []):
             out.append({"step": r["step"], **event})
+    return out
+
+
+def autotune_timeline(ledger: RunLedger) -> list[dict]:
+    """Flattened autotune decision events (retunes and breaker vetoes).
+
+    Prefers the per-step ``autotune_events`` records; falls back to the
+    final record's decision list for ledgers trimmed of step detail.
+    """
+    out: list[dict] = []
+    for r in ledger.steps:
+        out.extend(dict(event) for event in r.get("autotune_events", []))
+    if out:
+        return out
+    autotune = ledger.final.get("autotune")
+    if isinstance(autotune, dict):
+        out.extend(dict(event) for event in autotune.get("decisions", []))
     return out
 
 
@@ -134,6 +152,10 @@ def summarize(ledger: RunLedger) -> dict:
     if guard is not None:
         out["guard_remediations"] = len(guard.get("remediations", []))
         out["breaker_trips"] = guard.get("breaker", {}).get("trips", 0)
+    autotune = final.get("autotune")
+    if isinstance(autotune, dict):
+        out["autotune_retunes"] = autotune.get("retunes", 0)
+        out["autotune_vetoes"] = autotune.get("vetoes", 0)
     fleet = ledger.manifest.get("fleet")
     if isinstance(fleet, dict) and "restarts" in fleet:
         # Fleet lifecycle fields (restarts/SLO/goodput) only exist on

@@ -69,6 +69,8 @@ DEFAULT_SPECS: dict[str, MetricSpec] = {
         MetricSpec("hidden_fraction", "higher", abs_tol=0.15),
         MetricSpec("guard_remediations", "lower", abs_tol=2.0),
         MetricSpec("breaker_trips", "lower", abs_tol=1.0),
+        MetricSpec("autotune_retunes", "none", abs_tol=1.0),
+        MetricSpec("autotune_vetoes", "lower", abs_tol=1.0),
         MetricSpec("fleet_restarts", "lower", abs_tol=0.5),
         MetricSpec("fleet_preemptions", "lower", abs_tol=1.0),
         MetricSpec("fleet_time_lost_s", "lower", rel_tol=0.5, abs_tol=1e-6),

@@ -188,9 +188,11 @@ class LedgerWriter:
         self._cluster = None
         self._runtime = None
         self._guard = None
+        self._autotune = None
         # Cursors into append-only source streams.
         self._span_cursor = 0
         self._guard_cursor = 0
+        self._autotune_cursor = 0
 
     # -- configuration ---------------------------------------------------------
 
@@ -204,12 +206,14 @@ class LedgerWriter:
         guard=None,
         compressor=None,
         factor_compressor=None,
+        autotune=None,
     ) -> "LedgerWriter":
         """Attach the run's subsystems and fill the manifest config."""
         self._trainer = trainer
         self._cluster = cluster
         self._runtime = runtime
         self._guard = guard
+        self._autotune = autotune
         self._manifest["kind"] = kind
         if cluster is not None:
             self._manifest["cluster"] = {
@@ -238,6 +242,8 @@ class LedgerWriter:
                     if scalar is not None or value is None:
                         guarded[key] = scalar
             self._manifest["guard"] = guarded
+        if autotune is not None:
+            self._manifest["autotune"] = autotune.describe()
         return self
 
     def update_manifest(self, **fields) -> None:
@@ -299,6 +305,15 @@ class LedgerWriter:
                 event["breaker_state"] = guard.breaker.state
         return fresh
 
+    def _capture_autotune_events(self) -> list:
+        autotune = self._autotune
+        if autotune is None:
+            return []
+        decisions = autotune.decisions
+        fresh = [d.to_dict() for d in decisions[self._autotune_cursor :]]
+        self._autotune_cursor = len(decisions)
+        return fresh
+
     def _capture_bounds(self) -> dict | None:
         trainer = self._trainer
         compressor = getattr(trainer, "compressor", None) if trainer is not None else None
@@ -351,6 +366,9 @@ class LedgerWriter:
         guard_events = self._capture_guard_events()
         if guard_events:
             record["guard_events"] = guard_events
+        autotune_events = self._capture_autotune_events()
+        if autotune_events:
+            record["autotune_events"] = autotune_events
         spans = self._capture_spans()
         if spans is not None:
             record["spans"] = spans
@@ -384,6 +402,8 @@ class LedgerWriter:
             final["overlap"] = overlap
         if self._guard is not None:
             final["guard"] = self._guard.report()
+        if self._autotune is not None:
+            final["autotune"] = self._autotune.report()
         return final
 
     def close(self, *, final_metric=None) -> Path:

@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 
 from repro.obsv.analytics import (
+    autotune_timeline,
     bound_series,
     cr_series,
     guard_timeline,
@@ -132,6 +133,16 @@ def render_markdown(ledger: RunLedger) -> str:
             )
     else:
         lines.append("(no remediation fired)")
+    decisions = autotune_timeline(ledger)
+    if decisions:
+        lines.append("")
+        lines.append("## Autotune decisions")
+        lines.append("")
+        for d in decisions:
+            lines.append(
+                f"- step {d.get('step')}: `{d.get('kind')}` "
+                f"`{d.get('from')}` → `{d.get('to')}` ({d.get('reason')})"
+            )
     totals = span_totals(ledger)
     for track, cats in totals.items():
         lines.append("")
@@ -213,6 +224,18 @@ def render_html(ledger: RunLedger) -> str:
         )
     else:
         sections.append('<p class="ok">no remediation fired</p>')
+    decisions = autotune_timeline(ledger)
+    if decisions:
+        sections.append("<h2>Autotune decisions</h2>")
+        sections.append(
+            _html_table(
+                ["step", "kind", "from", "to", "reason"],
+                [
+                    [d.get("step"), d.get("kind"), d.get("from"), d.get("to"), d.get("reason")]
+                    for d in decisions
+                ],
+            )
+        )
     for track, cats in span_totals(ledger).items():
         sections.append(f"<h2>Span digests — {html.escape(track)} track</h2>")
         sections.append(

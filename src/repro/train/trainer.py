@@ -93,6 +93,7 @@ class DistributedSgdTrainer:
         runtime=None,
         guard=None,
         obsv=None,
+        autotune=None,
     ):
         self.model = model
         self.task = task
@@ -126,6 +127,20 @@ class DistributedSgdTrainer:
         #: one canonical run artifact folding metrics, span digests,
         #: overlap accounting, and guard events.  ``None`` (the default)
         #: is bit-identical to before — the writer never consumes RNG.
+        #: Optional :class:`repro.autotune.AutotuneConfig` (or controller):
+        #: closed-loop cost-model retuning of the compression stack.
+        #: ``None`` (the default) is bit-identical to before.
+        from repro.autotune.controller import as_autotune
+
+        self.autotune = as_autotune(autotune)
+        if self.autotune is not None:
+            self.autotune.bind(
+                trainer=self,
+                cluster=cluster,
+                guard=self.guard,
+                compressor=compressor,
+                category="grad_allreduce",
+            )
         from repro.obsv.ledger import as_ledger
 
         self.obsv = as_ledger(obsv)
@@ -137,6 +152,7 @@ class DistributedSgdTrainer:
                 runtime=runtime,
                 guard=self.guard,
                 compressor=compressor,
+                autotune=self.autotune,
             )
 
     def _flat_grad(self) -> np.ndarray:
@@ -191,6 +207,8 @@ class DistributedSgdTrainer:
         dense = 0.0
         guard = self.guard
         compressor = self.compressor if guard is None else guard.active(self.compressor)
+        if self.autotune is not None:
+            compressor = self.autotune.active_compressor(compressor)
         for r, idx in enumerate(shards):
             self.model.zero_grad()
             x, y = self.task.batch(idx)
@@ -276,6 +294,17 @@ class DistributedSgdTrainer:
         mean_loss = float(np.mean(losses))
         self.history.losses.append(mean_loss)
         self.history.lrs.append(self.optimizer.lr)
+        if self.autotune is not None:
+            # Decide before the ledger folds the step (same ordering as
+            # the K-FAC trainer); the whole gradient travels in one
+            # logical message per rank on this path.
+            self.autotune.end_step(
+                step=self.t,
+                wire_bytes=wire,
+                dense_bytes=dense,
+                n_messages=1,
+                sample=reduced0 if self.autotune.wants_sample else None,
+            )
         m = get_metrics()
         if m.enabled:
             m.gauge("train.loss").set(mean_loss)
