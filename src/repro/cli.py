@@ -60,6 +60,7 @@ _EXPERIMENTS = [
     ("Sec. 7", "future work: autotune + factor compression", "bench_ext_future_work.py"),
     ("Robustness", "chaos scenarios vs fault-free twin", "bench_ext_chaos.py"),
     ("Robustness", "guarded vs unguarded run under corruption", "bench_ext_guard.py"),
+    ("Robustness", "store crash-consistency + storage chaos", "bench_ext_store.py"),
 ]
 
 
@@ -633,7 +634,20 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         options["max_concurrent"] = args.max_concurrent
     if args.retry_budget is not None:
         options["retry_budget"] = args.retry_budget
-    scheduler = FleetScheduler(specs, ledger_dir=args.out, **options)
+    store_dir = args.store_dir
+    if store_dir is None and args.preset == "storage-smoke":
+        # The storage-smoke faults live on the checkpoint save path, so
+        # the preset is meaningless without a store.
+        import os.path
+        import tempfile
+
+        store_dir = (
+            os.path.join(args.out, "store")
+            if args.out
+            else tempfile.mkdtemp(prefix="repro-store-")
+        )
+        print(f"storage-smoke needs a checkpoint store; using {store_dir}")
+    scheduler = FleetScheduler(specs, ledger_dir=args.out, store_dir=store_dir, **options)
     result = scheduler.run()
     header = (
         f"{'job':8s} {'world':>6s} {'prio':>5s} {'steps':>5s} {'sim_s':>9s} "
@@ -657,6 +671,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         f"{result.total_restarts} restarts, {result.total_preemptions} preemptions, "
         f"{result.jobs_failed} failed, {result.slo_missed} SLO misses"
     )
+    if store_dir is not None:
+        fallbacks = sum(r.store_fallbacks for r in result.reports)
+        quarantined = sum(r.store_quarantined for r in result.reports)
+        repairs = sum(r.store_repairs for r in result.reports)
+        print(
+            f"store {store_dir}: {fallbacks} generation fallbacks, "
+            f"{quarantined} quarantined, {repairs} repairs"
+        )
     if args.out:
         print(f"per-job ledgers in {args.out}/")
     if args.json:
@@ -666,6 +688,36 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             json.dump(result.to_dict(), f, indent=2)
         print(f"wrote {args.json}")
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.store import fsck_path
+
+    verdicts = []
+    for target in args.paths:
+        verdicts.extend(fsck_path(target, repair=args.repair))
+    width = max((len(v.status) for v in verdicts), default=2)
+    for v in verdicts:
+        line = f"{v.status:>{width}s}  {v.kind:10s}  {v.path}"
+        if v.detail:
+            line += f"  — {v.detail}"
+        print(line)
+    problems = [v for v in verdicts if v.problem]
+    unrepairable = [v for v in verdicts if v.status == "unrepairable"]
+    print(
+        f"\nfsck: {len(verdicts)} object(s) examined, "
+        f"{len(problems)} problem(s){' (repair applied)' if args.repair else ''}"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump([v.to_dict() for v in verdicts], f, indent=2)
+        print(f"wrote {args.json}")
+    if args.repair:
+        # Repair mode fails only when damage remains beyond repair.
+        return 1 if unrepairable else 0
+    return 1 if problems else 0
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -842,13 +894,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--preset",
-        choices=["smoke", "scale", "chaos-smoke"],
+        choices=["smoke", "scale", "chaos-smoke", "storage-smoke"],
         default="smoke",
         help="job mix: smoke (3 small jobs, CI-gated), scale (10 jobs at 1k-4k "
-        "ranks), or chaos-smoke (smoke + deterministic crash/failure plans, "
-        "CI-gated)",
+        "ranks), chaos-smoke (smoke + deterministic crash/failure plans, "
+        "CI-gated), or storage-smoke (smoke + deterministic disk faults on the "
+        "checkpoint store, CI-gated)",
     )
     p.add_argument("--out", default=None, help="directory for per-job ledgers")
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        help="checkpoint into sealed versioned stores under this directory "
+        "(one per job); enables storage-plane faults and generation fallback",
+    )
     p.add_argument("--json", default=None, help="also dump the fleet result as JSON")
     p.add_argument(
         "--chaos",
@@ -876,6 +935,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="restarts allowed per job before it is marked failed",
     )
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "fsck",
+        help="verify (and repair) checkpoint stores, archives, and run ledgers",
+    )
+    p.add_argument(
+        "paths",
+        nargs="+",
+        help="a store directory, .npz checkpoint archive, .ledger/.jsonl run "
+        "ledger, or a directory containing any mix of them",
+    )
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt generations, adopt verified orphans, rebuild "
+        "manifests, and repair crash-truncated ledgers (scan-only without this)",
+    )
+    p.add_argument("--json", default=None, help="dump per-object verdicts as JSON")
+    p.set_defaults(func=cmd_fsck)
 
     sub.add_parser("experiments", help="list paper artefacts and benches").set_defaults(
         func=cmd_experiments

@@ -24,6 +24,7 @@ from repro.faults.checksum import CHECKSUM_BYTES, is_sealed, payload_crc, seal, 
 from repro.faults.controller import FaultController
 from repro.faults.injection import corrupt_payload, flip_bits
 from repro.faults.plan import (
+    BitRot,
     DroppedContribution,
     FailureEvent,
     FaultPlan,
@@ -32,11 +33,16 @@ from repro.faults.plan import (
     LinkDegradation,
     PayloadCorruption,
     RankFailure,
+    SaveCrash,
     Straggler,
+    TornWrite,
+    Truncation,
 )
 from repro.faults.recovery import ReliableChannel, TransferReport
+from repro.faults.storage import StorageCrash, StorageFaultController
 
 __all__ = [
+    "BitRot",
     "CHECKSUM_BYTES",
     "DroppedContribution",
     "FailureEvent",
@@ -48,8 +54,13 @@ __all__ = [
     "PayloadCorruption",
     "RankFailure",
     "ReliableChannel",
+    "SaveCrash",
+    "StorageCrash",
+    "StorageFaultController",
     "Straggler",
+    "TornWrite",
     "TransferReport",
+    "Truncation",
     "corrupt_payload",
     "flip_bits",
     "is_sealed",

@@ -33,6 +33,10 @@ __all__ = [
     "DroppedContribution",
     "RankFailure",
     "JobCrash",
+    "BitRot",
+    "Truncation",
+    "TornWrite",
+    "SaveCrash",
     "FailureEvent",
     "FaultPlan",
 ]
@@ -180,6 +184,100 @@ class JobCrash:
 
 
 @dataclass(frozen=True)
+class BitRot:
+    """At-rest corruption of the ``save_index``-th durable-state save.
+
+    After the save sequence completes (archive *and* store manifest in
+    place), ``n_bytes`` bytes of the written archive are flipped at
+    positions drawn from the plan's seeded RNG — the classic silent disk
+    corruption a sealed store must detect on the next load and survive
+    by falling back to an older verified generation.
+    """
+
+    plane: ClassVar[str] = "storage"
+
+    save_index: int
+    n_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.save_index < 0:
+            raise ValueError(f"save_index must be >= 0, got {self.save_index}")
+        if self.n_bytes < 1:
+            raise ValueError(f"n_bytes must be >= 1, got {self.n_bytes}")
+
+
+@dataclass(frozen=True)
+class Truncation:
+    """The ``save_index``-th save's archive is truncated at rest.
+
+    Keeps the leading ``keep_fraction`` of the file after the save
+    completes — a torn file discovered later (lost sectors, filesystem
+    rollback).  The store must detect the short read and fall back.
+    """
+
+    plane: ClassVar[str] = "storage"
+
+    save_index: int
+    keep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.save_index < 0:
+            raise ValueError(f"save_index must be >= 0, got {self.save_index}")
+        if not 0.0 <= self.keep_fraction < 1.0:
+            raise ValueError(
+                f"keep_fraction must be in [0, 1), got {self.keep_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """The ``save_index``-th save's temp file is torn before publish.
+
+    Truncates the in-flight temp archive at the ``save:tmp_written``
+    injection point, *before* ``os.replace`` — modelling a kernel/disk
+    that acknowledged buffered writes it never persisted.  The atomic
+    rename then publishes a corrupt archive whose seal cannot verify.
+    """
+
+    plane: ClassVar[str] = "storage"
+
+    save_index: int
+    keep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.save_index < 0:
+            raise ValueError(f"save_index must be >= 0, got {self.save_index}")
+        if not 0.0 <= self.keep_fraction < 1.0:
+            raise ValueError(
+                f"keep_fraction must be in [0, 1), got {self.keep_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class SaveCrash:
+    """The process dies at injection point ``point`` of save ``save_index``.
+
+    ``point`` is one of the store save sequence's enumerated injection
+    points (:data:`repro.store.STORE_SAVE_POINTS` — archive temp write,
+    publish, manifest temp write, manifest publish, ...), raising
+    :class:`~repro.faults.storage.StorageCrash` there.  Sweeping every
+    point is how "kill at any moment during save" becomes a
+    deterministic, enumerable test.
+    """
+
+    plane: ClassVar[str] = "storage"
+
+    save_index: int
+    point: str
+
+    def __post_init__(self) -> None:
+        if self.save_index < 0:
+            raise ValueError(f"save_index must be >= 0, got {self.save_index}")
+        if not self.point:
+            raise ValueError("point must be a non-empty injection-point name")
+
+
+@dataclass(frozen=True)
 class FailureEvent:
     """A rank failure as observed by the cluster when it is applied.
 
@@ -205,6 +303,11 @@ class FaultPlan:
     drops: list[DroppedContribution] = field(default_factory=list)
     failures: list[RankFailure] = field(default_factory=list)
     crashes: list[JobCrash] = field(default_factory=list)
+    #: Storage-plane faults, interpreted by the durable-state layer
+    #: (:class:`repro.store.CheckpointStore` via
+    #: :class:`repro.faults.storage.StorageFaultController`), never by
+    #: the cluster.
+    storage: list = field(default_factory=list)
 
     # -- builder API ---------------------------------------------------------
 
@@ -266,6 +369,30 @@ class FaultPlan:
         self.crashes.append(JobCrash(iteration))
         return self
 
+    def add_bit_rot(self, *, save_index: int, n_bytes: int = 1) -> "FaultPlan":
+        """Flip bytes in the ``save_index``-th durable save, at rest."""
+        self.storage.append(BitRot(save_index, n_bytes))
+        return self
+
+    def add_truncation(
+        self, *, save_index: int, keep_fraction: float = 0.5
+    ) -> "FaultPlan":
+        """Truncate the ``save_index``-th durable save's archive at rest."""
+        self.storage.append(Truncation(save_index, keep_fraction))
+        return self
+
+    def add_torn_write(
+        self, *, save_index: int, keep_fraction: float = 0.5
+    ) -> "FaultPlan":
+        """Tear the ``save_index``-th save's temp file before publish."""
+        self.storage.append(TornWrite(save_index, keep_fraction))
+        return self
+
+    def add_save_crash(self, *, save_index: int, point: str) -> "FaultPlan":
+        """Kill the process at injection point ``point`` of a save."""
+        self.storage.append(SaveCrash(save_index, point))
+        return self
+
     # -- introspection -------------------------------------------------------
 
     def entries(self):
@@ -278,6 +405,7 @@ class FaultPlan:
             self.drops,
             self.failures,
             self.crashes,
+            self.storage,
         ):
             yield from group
 
@@ -290,14 +418,17 @@ class FaultPlan:
             or self.drops
             or self.failures
             or self.crashes
+            or self.storage
         )
 
     def is_empty_for_cluster(self) -> bool:
         """True when nothing in the plan is interpreted *inside* a cluster.
 
         Job crashes are fleet-level (the scheduler kills and restarts the
-        whole run); a crashes-only plan must leave the cluster's hot paths
-        bit-identical to a faultless one, so ``SimCluster`` discards it.
+        whole run) and storage faults live in the durable-state layer
+        (the checkpoint store's save/load path); a plan carrying only
+        those must leave the cluster's hot paths bit-identical to a
+        faultless one, so ``SimCluster`` discards it.
         """
         return not (
             self.stragglers

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.faults.plan import FaultPlan
+from repro.faults.storage import StorageCrash, StorageFaultController
 from repro.fleet.fabric import SharedFabric
 
 __all__ = ["JobSpec", "FleetJob", "JobCrashed"]
@@ -111,6 +112,7 @@ class FleetJob:
         network=None,
         ledger_path: str | Path | None = None,
         checkpoint_path: str | Path | None = None,
+        store_dir: str | Path | None = None,
     ):
         self.spec = spec
         self.fabric = fabric
@@ -120,6 +122,25 @@ class FleetJob:
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
+        # Durable state: with a ``store_dir`` the job checkpoints into a
+        # sealed, versioned CheckpointStore (its own subdirectory) and
+        # restores fall back across generations on damage.  The store —
+        # and the storage fault controller interpreting the spec's
+        # storage-plane faults against it — persist across segment
+        # rebuilds: a restarted job keeps its generation lineage, and
+        # each scheduled fault fires exactly once per job lifetime.
+        self.store = None
+        self.storage_faults: StorageFaultController | None = None
+        if store_dir is not None:
+            from repro.store import CheckpointStore
+
+            hooks_factory = None
+            if spec.fault_plan is not None and spec.fault_plan.storage:
+                self.storage_faults = StorageFaultController(spec.fault_plan)
+                hooks_factory = self.storage_faults.hooks_for
+            self.store = CheckpointStore(
+                Path(store_dir) / spec.name, hooks_factory=hooks_factory
+            )
         # -- lifecycle state --------------------------------------------------
         self.state = "waiting"
         #: Fleet time at which the job can (re)start.
@@ -189,6 +210,7 @@ class FleetJob:
                 if spec.eb is not None
                 else None
             ),
+            checkpoint_store=self.store,
             obsv=(
                 LedgerConfig(self.ledger_path, note=f"fleet job={spec.name}")
                 if self.ledger_path is not None
@@ -279,16 +301,40 @@ class FleetJob:
             raise RuntimeError(f"job {self.spec.name!r} is {self.state}, not waiting")
         if self._pending_restore:
             self._build()
-            if self.checkpoint_path is not None and self.checkpoint_step > 0:
-                self.trainer.restore_state(self.checkpoint_path)
-            self.steps_done = self.checkpoint_step
+            if self.store is not None:
+                # Newest *verified* generation wins: a corrupt newest
+                # checkpoint is quarantined and the job resumes from the
+                # generation before it (replaying the steps in between
+                # bit-identically) instead of failing the restart.
+                gen = self.trainer.restore_latest()
+                self.steps_done = gen.step if gen is not None else 0
+                self.checkpoint_step = self.steps_done
+            else:
+                if self.checkpoint_path is not None and self.checkpoint_step > 0:
+                    self.trainer.restore_state(self.checkpoint_path)
+                self.steps_done = self.checkpoint_step
             self._ckpt_sim_time = 0.0
             self._pending_restore = False
         self.offset = at
         self.state = "running"
 
     def checkpoint(self) -> None:
-        """Lightweight exact-resume checkpoint of the current step."""
+        """Lightweight exact-resume checkpoint of the current step.
+
+        With a store this commits a sealed generation; a storage-plane
+        :class:`~repro.faults.storage.StorageCrash` scheduled inside the
+        save sequence surfaces as :class:`JobCrashed` — the process died
+        mid-save, and the scheduler's crash machinery takes over (the
+        store guarantees the previous committed generation survives).
+        """
+        if self.store is not None:
+            try:
+                self.trainer.save_state()
+            except StorageCrash as exc:
+                raise JobCrashed(self.spec.name, self.steps_done) from exc
+            self.checkpoint_step = self.steps_done
+            self._ckpt_sim_time = self.cluster.time
+            return
         if self.checkpoint_path is None:
             return
         self.trainer.save_state(self.checkpoint_path)
@@ -314,7 +360,16 @@ class FleetJob:
         preemption costs queue position but zero work)."""
         if self.state != "running":
             raise RuntimeError(f"job {self.spec.name!r} is {self.state}, not running")
-        self.checkpoint()
+        try:
+            self.checkpoint()
+        except JobCrashed:
+            # The process died while checkpointing for preemption: the
+            # preemption becomes a crash rollback (work past the last
+            # committed generation is lost) but charges no retry budget.
+            self.preemptions += 1
+            self.crash_rollback()
+            self.ready_time = self.now
+            return
         self.sim_time_past += self.cluster.time
         self._fault_delay_past += self.cluster.fault_delay_seconds
         self.preemptions += 1
@@ -371,6 +426,11 @@ class FleetJob:
         if obsv is None:
             return
         obsv.update_manifest(fleet=self._fleet_manifest())
+        if self.store is not None and self.store.abnormal_events():
+            # Damage only: a healthy store leaves the ledger byte-
+            # identical to a store-less fleet run, so committed fleet
+            # baselines stay valid.
+            obsv.update_manifest(store=self.store.summary())
         obsv.close()
 
     @property

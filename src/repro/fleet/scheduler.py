@@ -88,6 +88,13 @@ class JobReport:
     deadline: float | None = None
     #: Whether the job finished inside its deadline (None = no SLO).
     slo_met: bool | None = None
+    #: Durable-state events (all zero without a store or with a healthy
+    #: one): restores that fell back past a damaged newest generation,
+    #: files quarantined (or found missing), and repairs (manifest
+    #: rebuilds, orphan adoptions).
+    store_fallbacks: int = 0
+    store_quarantined: int = 0
+    store_repairs: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -135,6 +142,7 @@ class FleetScheduler:
         network=None,
         ledger_dir: str | Path | None = None,
         checkpoint_dir: str | Path | None = None,
+        store_dir: str | Path | None = None,
         max_concurrent: int | None = None,
         retry_budget: int = 3,
         backoff_base: float = 1e-3,
@@ -174,6 +182,13 @@ class FleetScheduler:
             checkpoint_dir = self._tmpdir.name
         self.checkpoint_dir = Path(checkpoint_dir)
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        # With a store_dir, each job checkpoints into a sealed versioned
+        # CheckpointStore under ``store_dir/<job name>`` (and the job's
+        # storage-plane faults become live); without one, jobs keep the
+        # single-file checkpoint path, bit-identical to before.
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+        if self.store_dir is not None:
+            self.store_dir.mkdir(parents=True, exist_ok=True)
         self.jobs = [
             FleetJob(
                 spec,
@@ -185,6 +200,7 @@ class FleetScheduler:
                     else None
                 ),
                 checkpoint_path=self.checkpoint_dir / f"{spec.name}.npz",
+                store_dir=self.store_dir,
             )
             for spec in specs
         ]
@@ -262,6 +278,7 @@ class FleetScheduler:
 
     def _report(self, job: FleetJob) -> JobReport:
         spec = job.spec
+        store = job.store.summary() if job.store is not None else {}
         return JobReport(
             name=spec.name,
             world_size=spec.world_size,
@@ -282,6 +299,9 @@ class FleetScheduler:
             goodput=job.goodput(),
             deadline=spec.deadline,
             slo_met=job.slo_met(),
+            store_fallbacks=store.get("fallbacks", 0),
+            store_quarantined=store.get("quarantined", 0),
+            store_repairs=store.get("repairs", 0),
         )
 
 
@@ -349,15 +369,59 @@ def _chaos_smoke_specs() -> list[JobSpec]:
     ]
 
 
+def _storage_smoke_specs() -> list[JobSpec]:
+    """The smoke fleet under a deterministic *storage* fault schedule.
+
+    Requires a scheduler ``store_dir`` (the CLI's ``repro fleet
+    --preset storage-smoke`` supplies one) — the faults live on the
+    checkpoint save path.  Every job checkpoints each step (saves land
+    at save indices 0, 1, 2, ...):
+
+    * job0: bit rot eats the newest generation at rest (save index 2),
+      then the job crashes — restart must fall back one generation and
+      replay to a bit-identical finish;
+    * job1: a torn write tears the save at index 2 inside the tmp-write
+      window; the crash-restart detects the broken content seal,
+      quarantines the generation, and falls back;
+    * job2: the process dies *inside* the save sequence (crash at the
+      ``save:tmp_written`` injection point) — the previous committed
+      generation must survive and the restart resume from it.
+
+    All three must end ``done`` with zero failed jobs: storage damage
+    costs replayed steps, never a job.
+    """
+    from repro.faults.plan import FaultPlan
+
+    rotten = FaultPlan().add_crash(iteration=3).add_bit_rot(save_index=2)
+    torn = FaultPlan().add_crash(iteration=3).add_torn_write(save_index=2)
+    dying = FaultPlan().add_save_crash(save_index=1, point="save:tmp_written")
+    return [
+        JobSpec(
+            "job0", world_size=32, iterations=4, priority=2.0, seed=0,
+            fault_plan=rotten,
+        ),
+        JobSpec(
+            "job1", world_size=16, iterations=4, priority=1.0, seed=1,
+            arrival=0.001, fault_plan=torn,
+        ),
+        JobSpec(
+            "job2", world_size=8, iterations=3, batch_size=32, seed=2,
+            arrival=0.002, fault_plan=dying,
+        ),
+    ]
+
+
 PRESETS = {
     "smoke": _smoke_specs,
     "scale": _scale_specs,
     "chaos-smoke": _chaos_smoke_specs,
+    "storage-smoke": _storage_smoke_specs,
 }
 
 #: Scheduler keyword arguments each preset expects (empty = defaults).
 PRESET_OPTIONS: dict[str, dict] = {
     "chaos-smoke": {"max_concurrent": 2, "retry_budget": 3},
+    "storage-smoke": {"retry_budget": 3},
 }
 
 

@@ -19,8 +19,12 @@ Remediations, in escalation order of severity:
   iterations;
 * ``escalate_damping`` — multiply K-FAC damping (capped), stabilising
   the preconditioner against noisy factors;
-* ``rollback`` — restore the latest checkpoint via ``util.checkpoint``,
-  the last resort once parameters are already poisoned.
+* ``rollback`` — restore the latest checkpoint, the last resort once
+  parameters are already poisoned.  When the trainer owns a
+  :class:`repro.store.CheckpointStore` the rollback walks the store's
+  generation lineage (newest *verified* generation wins; corrupt ones
+  are quarantined), otherwise it restores ``_last_checkpoint`` via
+  ``util.checkpoint``.
 
 Every applied action is appended to the engine's ``timeline``, counted
 as ``guard.remediations`` on the metrics registry, and recorded as a
@@ -222,6 +226,16 @@ class PolicyEngine:
 
     def _apply_rollback(self, ctx: GuardContext) -> dict | None:
         trainer = ctx.trainer
+        store = getattr(trainer, "checkpoint_store", None)
+        if store is not None and hasattr(trainer, "restore_latest") and store.latest():
+            # Walk the store's generation lineage: a corrupt newest
+            # checkpoint falls back to the newest *verified* one instead
+            # of failing the remediation (load_latest quarantines the
+            # damage and records store events).
+            gen = trainer.restore_latest()
+            if gen is None:
+                return None
+            return {"checkpoint": str(store.root / gen.file), "generation": gen.gen}
         checkpoint = getattr(trainer, "_last_checkpoint", None)
         if checkpoint is None or not hasattr(trainer, "restore_state"):
             return None

@@ -62,6 +62,7 @@ class DistributedKfacTrainer:
         factor_compressor: GradientCompressor | None = None,
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 0,
+        checkpoint_store=None,
         runtime=None,
         guard=None,
         reliable_channel: bool = True,
@@ -117,6 +118,12 @@ class DistributedKfacTrainer:
         )
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
         self.checkpoint_every = checkpoint_every
+        #: Optional :class:`repro.store.CheckpointStore`.  When set,
+        #: periodic checkpoints become sealed, versioned generations and
+        #: every restore verifies both seals, falling back to the newest
+        #: verified generation on damage.  ``None`` (the default) keeps
+        #: the single-file ``checkpoint_dir`` behaviour bit-identical.
+        self.checkpoint_store = checkpoint_store
         self._last_checkpoint: Path | None = None
         #: Optional :class:`repro.guard.Guard` (or GuardConfig): numerical
         #: sentinels, divergence detection, and self-healing remediation.
@@ -751,7 +758,11 @@ class DistributedKfacTrainer:
         m = get_metrics()
         with tracer.span("recover", "fault", n_failures=len(failures)):
             hard = [f for f in failures if not f.recoverable]
-            if hard and self._last_checkpoint is not None:
+            if hard and self.checkpoint_store is not None and self.checkpoint_store.latest():
+                self.restore_latest()
+                if m.enabled:
+                    m.counter("faults.recovered", kind="checkpoint_restore").inc()
+            elif hard and self._last_checkpoint is not None:
                 self.restore_state(self._last_checkpoint)
                 if m.enabled:
                     m.counter("faults.recovered", kind="checkpoint_restore").inc()
@@ -770,8 +781,27 @@ class DistributedKfacTrainer:
 
     # -- checkpointing ---------------------------------------------------------
 
-    def save_state(self, path: str | Path) -> Path:
-        """Atomic full-state checkpoint (model, K-FAC, compressor)."""
+    def save_state(self, path: str | Path | None = None) -> Path:
+        """Atomic full-state checkpoint (model, K-FAC, compressor).
+
+        With a :attr:`checkpoint_store` and no explicit ``path``, the
+        checkpoint is committed as a sealed store generation instead of
+        a bare file.
+        """
+        if path is None:
+            if self.checkpoint_store is None:
+                raise ValueError(
+                    "save_state() needs a path when no checkpoint_store is configured"
+                )
+            gen = self.checkpoint_store.save(
+                self.model,
+                self.kfac,
+                compressor=self.compressor,
+                world_size=self.cluster.world_size,
+                step=self.t,
+            )
+            self._last_checkpoint = self.checkpoint_store.root / gen.file
+            return self._last_checkpoint
         path = Path(path)
         save_checkpoint(
             path,
@@ -779,6 +809,7 @@ class DistributedKfacTrainer:
             self.kfac,
             compressor=self.compressor,
             world_size=self.cluster.world_size,
+            step=self.t,
         )
         self._last_checkpoint = path
         return path
@@ -790,6 +821,27 @@ class DistributedKfacTrainer:
         self.t = self.kfac.t
         self._last_checkpoint = Path(path)
 
+    def restore_latest(self):
+        """Restore the newest *verified* store generation (with fallback).
+
+        Returns the restored :class:`~repro.store.Generation` — its
+        ``step`` is where training resumes — or ``None`` when the store
+        is empty.  A corrupt newest generation is quarantined and the
+        next-older verified one restored instead
+        (:meth:`CheckpointStore.load_latest`); only a store with *no*
+        verified generation raises.
+        """
+        if self.checkpoint_store is None:
+            raise ValueError("restore_latest() requires a checkpoint_store")
+        gen = self.checkpoint_store.load_latest(
+            self.model, self.kfac, compressor=self.compressor
+        )
+        if gen is None:
+            return None
+        self.t = self.kfac.t
+        self._last_checkpoint = self.checkpoint_store.root / gen.file
+        return gen
+
     def train(self, *, iterations: int, batch_size: int, eval_every: int = 0, seed: int = 0):
         if self.obsv is not None:
             self.obsv.update_manifest(seed=seed, iterations=iterations, batch_size=batch_size)
@@ -799,14 +851,18 @@ class DistributedKfacTrainer:
             self.step(idx)
             if eval_every and (t + 1) % eval_every == 0:
                 self.history.metrics.append((t + 1, self.task.evaluate(self.model)))
-            if (
-                self.checkpoint_dir is not None
-                and self.checkpoint_every
-                and (t + 1) % self.checkpoint_every == 0
-            ):
-                self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
-                self.save_state(self.checkpoint_dir / "latest.npz")
+            if self.checkpoint_every and (t + 1) % self.checkpoint_every == 0:
+                if self.checkpoint_store is not None:
+                    self.save_state()
+                elif self.checkpoint_dir is not None:
+                    self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+                    self.save_state(self.checkpoint_dir / "latest.npz")
         if self.obsv is not None:
+            store = self.checkpoint_store
+            if store is not None and store.abnormal_events():
+                # Only damage perturbs the artifact: a healthy store's
+                # ledger stays byte-identical to a store-less run.
+                self.obsv.update_manifest(store=store.summary())
             self.obsv.close(final_metric=self.history.final_metric())
         return self.history
 

@@ -41,11 +41,14 @@ from repro.obsv.ledger import (
     SCHEMA_VERSION,
     LedgerConfig,
     LedgerError,
+    LedgerFsck,
     LedgerWriter,
     RunLedger,
     as_ledger,
     describe_compressor,
     fault_plan_digest,
+    final_from_steps,
+    fsck_ledger,
     load_ledger,
 )
 from repro.obsv.report import render_html, render_markdown, write_report
@@ -55,6 +58,7 @@ __all__ = [
     "DiffRow",
     "LedgerConfig",
     "LedgerError",
+    "LedgerFsck",
     "LedgerWriter",
     "MetricSpec",
     "RunDiff",
@@ -67,6 +71,8 @@ __all__ = [
     "describe_compressor",
     "diff_ledgers",
     "fault_plan_digest",
+    "final_from_steps",
+    "fsck_ledger",
     "guard_timeline",
     "load_ledger",
     "loss_series",

@@ -167,4 +167,15 @@ def summarize(ledger: RunLedger) -> dict:
         out["fleet_goodput"] = fleet.get("goodput")
         if fleet.get("slo_met") is not None:
             out["fleet_slo_met"] = 1.0 if fleet["slo_met"] else 0.0
+    store = ledger.manifest.get("store")
+    if isinstance(store, dict):
+        # Durable-state fields exist only when a CheckpointStore had to
+        # work around damage (fallbacks/quarantines/repairs); a healthy
+        # store contributes nothing, keeping its ledger byte-identical
+        # to a store-less run.
+        out["store_fallbacks"] = store.get("fallbacks", 0)
+        out["store_quarantined"] = store.get("quarantined", 0)
+        out["store_repairs"] = store.get("repairs", 0)
+    if ledger.final.get("repaired"):
+        out["ledger_repaired"] = 1.0
     return out

@@ -76,6 +76,13 @@ DEFAULT_SPECS: dict[str, MetricSpec] = {
         MetricSpec("fleet_time_lost_s", "lower", rel_tol=0.5, abs_tol=1e-6),
         MetricSpec("fleet_goodput", "higher", rel_tol=0.25),
         MetricSpec("fleet_slo_met", "higher"),
+        # Durable-state events: fewer is better, and one generation of
+        # slack absorbs the scripted corruption a chaos baseline commits
+        # to — anything past that is a storage regression.
+        MetricSpec("store_fallbacks", "lower", abs_tol=1.0),
+        MetricSpec("store_quarantined", "lower", abs_tol=1.0),
+        MetricSpec("store_repairs", "lower", abs_tol=1.0),
+        MetricSpec("ledger_repaired", "lower"),
     )
 }
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -40,11 +41,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "LedgerConfig",
     "LedgerError",
+    "LedgerFsck",
     "LedgerWriter",
     "RunLedger",
     "as_ledger",
     "describe_compressor",
     "fault_plan_digest",
+    "final_from_steps",
+    "fsck_ledger",
     "load_ledger",
 ]
 
@@ -131,6 +135,12 @@ class LedgerConfig:
     span_tracks: tuple[str, ...] = ("sim", "device")
     #: Free-form annotation stored in the manifest.
     note: str = ""
+    #: Also append each record to disk as it is produced, leaving a
+    #: parseable-prefix crash artifact if the process dies mid-run
+    #: (:func:`fsck_ledger` repairs its truncated tail).  ``close()``
+    #: still rewrites the file atomically from the buffer, so a
+    #: *completed* streamed ledger is byte-identical to a buffered one.
+    stream: bool = False
 
     def build(self) -> "LedgerWriter":
         return LedgerWriter(self)
@@ -183,6 +193,7 @@ class LedgerWriter:
         }
         self._steps: list[dict] = []
         self._closed = False
+        self._stream_started = False
         # Bound observability sources (all optional).
         self._trainer = None
         self._cluster = None
@@ -378,23 +389,29 @@ class LedgerWriter:
         for key, value in extra.items():
             record[key] = _scalarize(value)
         self._steps.append(record)
+        if self.config.stream:
+            self._stream_flush(record)
         return record
+
+    def _stream_flush(self, record: dict) -> None:
+        """Append one record to the on-disk crash artifact (stream mode).
+
+        The first flush truncates — a writer restarted after a crash
+        must not append a second manifest after a dead segment's steps.
+        The manifest is written as of the first step; fields merged
+        later reach the file at :meth:`close`, which rewrites it whole.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a" if self._stream_started else "w") as fh:
+            if not self._stream_started:
+                fh.write(json.dumps({"manifest": self._manifest}) + "\n")
+            fh.write(json.dumps(record) + "\n")
+        self._stream_started = True
 
     # -- finalisation ----------------------------------------------------------
 
     def _final_record(self, final_metric) -> dict:
-        losses = [r["loss"] for r in self._steps]
-        crs = [r["cr"] for r in self._steps if "cr" in r]
-        final: dict = {
-            "steps": len(self._steps),
-            "final_loss": losses[-1] if losses else None,
-            "mean_cr": sum(crs) / len(crs) if crs else None,
-            "total_wire_bytes": sum(r.get("wire_bytes", 0.0) for r in self._steps),
-            "total_dense_bytes": sum(r.get("dense_bytes", 0.0) for r in self._steps),
-        }
-        if self._steps and "sim_time" in self._steps[-1]:
-            final["sim_time"] = self._steps[-1]["sim_time"]
-            final["world_size"] = self._steps[-1]["world_size"]
+        final = final_from_steps(self._steps)
         if final_metric is not None:
             final["final_metric"] = _scalarize(final_metric)
         overlap = self._capture_overlap()
@@ -415,7 +432,15 @@ class LedgerWriter:
         lines.extend(json.dumps(r) for r in self._steps)
         lines.append(json.dumps({"final": self._final_record(final_metric)}))
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("\n".join(lines) + "\n")
+        # Atomic replace: a crash mid-close must not tear a streamed
+        # crash artifact that was still parseable.
+        tmp = self.path.with_name(f".{self.path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_text("\n".join(lines) + "\n")
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         return self.path
 
     def __enter__(self) -> "LedgerWriter":
@@ -424,6 +449,29 @@ class LedgerWriter:
     def __exit__(self, *exc) -> bool:
         self.close()
         return False
+
+
+def final_from_steps(steps: list[dict]) -> dict:
+    """The deterministic core of a final record, derived from step records.
+
+    Shared by :class:`LedgerWriter` (normal close) and
+    :func:`fsck_ledger` (synthesising a final summary for a
+    crash-truncated ledger) so both paths agree byte-for-byte on the
+    derivable fields.
+    """
+    losses = [r["loss"] for r in steps if "loss" in r]
+    crs = [r["cr"] for r in steps if "cr" in r]
+    final: dict = {
+        "steps": len(steps),
+        "final_loss": losses[-1] if losses else None,
+        "mean_cr": sum(crs) / len(crs) if crs else None,
+        "total_wire_bytes": sum(r.get("wire_bytes", 0.0) for r in steps),
+        "total_dense_bytes": sum(r.get("dense_bytes", 0.0) for r in steps),
+    }
+    if steps and "sim_time" in steps[-1]:
+        final["sim_time"] = steps[-1]["sim_time"]
+        final["world_size"] = steps[-1].get("world_size")
+    return final
 
 
 # -- reading -------------------------------------------------------------------
@@ -474,3 +522,108 @@ def load_ledger(path: str | Path) -> RunLedger:
         if "step" not in r:
             raise LedgerError(f"{path}: step record without 'step': {r}")
     return RunLedger(manifest=manifest, steps=steps, final=records[-1]["final"], path=path)
+
+
+# -- fsck ----------------------------------------------------------------------
+
+
+@dataclass
+class LedgerFsck:
+    """Verdict of :func:`fsck_ledger` on one ledger file.
+
+    ``status`` is ``"ok"`` (parses as a complete ledger), ``"repaired"``
+    (damage confined to a crash-truncated tail — the repaired ledger is
+    in :attr:`ledger`, and written back when ``repair=True``), or
+    ``"unrepairable"`` (damage beyond a tail truncation: mid-file
+    corruption, missing manifest).  The synthesized final record is
+    marked ``"repaired": true`` so downstream gating can tell a
+    reconstructed summary from a written one.
+    """
+
+    path: Path
+    status: str
+    problems: list[str] = field(default_factory=list)
+    dropped_records: int = 0
+    synthesized_final: bool = False
+    ledger: RunLedger | None = None
+
+
+def fsck_ledger(path: str | Path, *, repair: bool = False) -> LedgerFsck:
+    """Detect (and optionally repair) a crash-truncated run ledger.
+
+    A process killed mid-run leaves a JSONL file whose damage is
+    confined to the tail: a torn trailing line and/or a missing final
+    record.  Both are repairable — the torn line is dropped and the
+    final summary is re-derived from the surviving steps via
+    :func:`final_from_steps`.  Anything else (unparseable record in the
+    middle, first record not a manifest) is not crash truncation and is
+    reported ``unrepairable`` rather than guessed at.
+
+    With ``repair=True`` a repaired ledger is written back atomically
+    (the damaged original is kept at ``<name>.pre-fsck``), after which
+    :func:`load_ledger` — and thus ``repro report`` / ``repro diff`` —
+    accepts the file.
+    """
+    path = Path(path)
+    out = LedgerFsck(path=path, status="ok")
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        out.status = "unrepairable"
+        out.problems.append(f"unreadable: {exc}")
+        return out
+    raw_lines = [ln for ln in text.splitlines() if ln.strip()]
+    records: list[dict] = []
+    for i, line in enumerate(raw_lines):
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if i == len(raw_lines) - 1:
+                out.dropped_records += 1
+                out.problems.append("torn trailing record dropped")
+            else:
+                out.status = "unrepairable"
+                out.problems.append(
+                    f"unparseable record at line {i + 1} of {len(raw_lines)} — "
+                    f"mid-file corruption, not a crash-truncated tail"
+                )
+                return out
+    if not records or not isinstance(records[0], dict) or "manifest" not in records[0]:
+        out.status = "unrepairable"
+        out.problems.append("first record is not a manifest")
+        return out
+    manifest = records[0]["manifest"]
+    body = records[1:]
+    final = None
+    if body and isinstance(body[-1], dict) and "final" in body[-1]:
+        final = body[-1]["final"]
+        body = body[:-1]
+    steps = []
+    for r in body:
+        if isinstance(r, dict) and "step" in r:
+            steps.append(r)
+        else:
+            out.dropped_records += 1
+            out.problems.append("non-step record dropped")
+    if final is None:
+        final = final_from_steps(steps)
+        final["repaired"] = True
+        out.synthesized_final = True
+        out.problems.append("final summary missing — synthesized from steps")
+    out.ledger = RunLedger(manifest=manifest, steps=steps, final=final, path=path)
+    if out.problems:
+        out.status = "repaired"
+        if repair:
+            backup = path.with_name(path.name + ".pre-fsck")
+            backup.write_text(text)
+            lines = [json.dumps({"manifest": manifest})]
+            lines.extend(json.dumps(r) for r in steps)
+            lines.append(json.dumps({"final": final}))
+            tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+            try:
+                tmp.write_text("\n".join(lines) + "\n")
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+    return out

@@ -13,18 +13,29 @@ it.  A checkpoint therefore round-trips, beyond model parameters:
   stochastic-rounding RNG state, so compression decisions after a
   restore are bit-identical to the uninterrupted run.
 
-Writes are **atomic**: the ``.npz`` is produced in a temp file in the
-same directory and moved into place with ``os.replace``, so a crash
-mid-save can never leave a truncated archive that poisons recovery —
-the previous checkpoint survives intact.
+Writes are **atomic and sealed**: the ``.npz`` is produced in a
+writer-unique temp file in the same directory and moved into place with
+``os.replace``, so a crash mid-save can never leave a truncated archive
+that poisons recovery — the previous checkpoint survives intact.  Every
+archive carries a content seal (``meta/content_crc32``, a CRC over the
+raw array bytes of every section) computed *before* the bytes hit disk;
+:func:`verify_checkpoint` and ``load_checkpoint(verify=...)`` recompute
+it, so bit-rot at rest is detected before any state is mutated.
+
+The save sequence exposes its injection points (:data:`SAVE_POINTS`)
+through the ``hooks`` callback, which is how the storage fault plane
+(:mod:`repro.faults.storage`) makes "kill the process at any point
+during save" an enumerable, deterministic test instead of a hope.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import zlib
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -33,20 +44,46 @@ if TYPE_CHECKING:  # pragma: no cover — annotations only, avoids an
     from repro.nn.module import Module
     from repro.optim.kfac import Kfac
 
-__all__ = ["CheckpointError", "SCHEMA_VERSION", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointError",
+    "SAVE_POINTS",
+    "SCHEMA_VERSION",
+    "content_crc32",
+    "load_checkpoint",
+    "read_meta",
+    "save_checkpoint",
+    "verify_checkpoint",
+]
 
 #: Archive layout version.  Version 1 is the pre-versioned layout (no
 #: ``meta/*`` keys); version 2 added ``meta/schema_version`` and
-#: ``meta/world_size``.  Bump on any incompatible key change.
-SCHEMA_VERSION = 2
+#: ``meta/world_size``; version 3 added the ``meta/content_crc32`` seal
+#: and the optional ``meta/step`` stamp.  Bump on any incompatible key
+#: change.
+SCHEMA_VERSION = 3
+
+#: Enumerated injection points of the archive save sequence, in order.
+#: A crash at ``save:begin`` loses the save entirely; at
+#: ``save:tmp_written`` the temp file exists but the final path is
+#: untouched; at ``save:replaced`` the new archive is in place but the
+#: caller (e.g. a :class:`repro.store.CheckpointStore` manifest update)
+#: has not yet run.  Stores extend this sequence with their own points.
+SAVE_POINTS = ("save:begin", "save:tmp_written", "save:replaced")
+
+#: Per-process monotone counter making temp names writer-unique: two
+#: stores checkpointing same-named stems into one directory must never
+#: race on a shared ``.{stem}.tmp.npz`` (a torn ``os.replace`` of the
+#: other writer's half-written file would corrupt both).
+_TMP_COUNTER = itertools.count()
 
 
 class CheckpointError(RuntimeError):
     """A checkpoint archive cannot be restored into this process.
 
     Raised *before* any state is mutated — schema or world-size
-    mismatches must fail the restore loudly up front, not as a cryptic
-    ``KeyError`` halfway through repopulating optimizer state.
+    mismatches, unreadable/torn archives, broken content seals, and
+    partial sections must fail the restore loudly up front, not as a
+    cryptic ``KeyError`` halfway through repopulating optimizer state.
     """
 
 
@@ -63,6 +100,24 @@ def _rng_state_array(rng: np.random.Generator) -> np.ndarray:
 
 def _restore_rng_state(rng: np.random.Generator, stored: np.ndarray) -> None:
     rng.bit_generator.state = json.loads(str(stored[()]))
+
+
+def content_crc32(arrays: dict[str, np.ndarray]) -> int:
+    """CRC32 seal over every section's name, dtype, shape, and raw bytes.
+
+    Keys are visited in sorted order so the seal is layout-independent;
+    the ``meta/content_crc32`` entry itself is excluded (it cannot seal
+    its own value).
+    """
+    crc = 0
+    for key in sorted(arrays):
+        if key == "meta/content_crc32":
+            continue
+        arr = np.asarray(arrays[key])
+        header = f"{key}|{arr.dtype.str}|{arr.shape}".encode()
+        crc = zlib.crc32(header, crc)
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc & 0xFFFFFFFF
 
 
 def _compressor_parts(compressor) -> tuple[object | None, object]:
@@ -116,20 +171,54 @@ def _collect_optimizer(arrays: dict[str, np.ndarray], optimizer) -> None:
         arrays["opt/t"] = np.array(optimizer._t)
 
 
+def _take(data: dict, key: str, like: np.ndarray) -> np.ndarray:
+    """Fetch an ``opt/*`` section entry, validating presence and shape."""
+    if key not in data:
+        raise CheckpointError(
+            f"checkpoint optimizer state is incomplete: missing {key!r}"
+        )
+    stored = data[key]
+    if stored.shape != like.shape:
+        raise CheckpointError(
+            f"checkpoint optimizer state {key!r} has shape {stored.shape}, "
+            f"expected {like.shape}"
+        )
+    return stored
+
+
 def _restore_optimizer(data, optimizer) -> None:
+    """Restore Sgd velocity or Adam/Lamb moments, loudly.
+
+    A checkpoint saved without optimizer state has *no* ``opt/*`` keys;
+    restoring an optimizer from it is a silent partial restore and
+    raises.  A checkpoint with *some* ``opt/*`` keys must have all of
+    them, with matching shapes — anything else names the offending key.
+    """
+    has_opt = any(k.startswith("opt/") for k in data.keys())
     velocity = getattr(optimizer, "_velocity", None)
+    moments = getattr(optimizer, "_m", None)
+    if velocity is None and moments is None:
+        return  # optimizer holds no state yet (no step taken): nothing to fill
+    if not has_opt:
+        raise CheckpointError(
+            "checkpoint contains no optimizer state (no 'opt/*' keys) but an "
+            "optimizer was passed to load_checkpoint — refusing a silent "
+            "partial restore"
+        )
     if velocity is not None:
         for i in range(len(velocity)):
-            key = f"opt/velocity/{i}"
-            if key in data:
-                velocity[i][...] = data[key]
-    if getattr(optimizer, "_m", None) is not None:
-        for i in range(len(optimizer._m)):
-            if f"opt/m/{i}" in data:
-                optimizer._m[i][...] = data[f"opt/m/{i}"]
-                optimizer._v[i][...] = data[f"opt/v/{i}"]
-        if "opt/t" in data:
-            optimizer._t = int(data["opt/t"])
+            velocity[i][...] = _take(data, f"opt/velocity/{i}", velocity[i])
+    if moments is not None:
+        for i in range(len(moments)):
+            optimizer._m[i][...] = _take(data, f"opt/m/{i}", optimizer._m[i])
+            optimizer._v[i][...] = _take(data, f"opt/v/{i}", optimizer._v[i])
+        if "opt/t" not in data:
+            raise CheckpointError("checkpoint optimizer state is incomplete: missing 'opt/t'")
+        optimizer._t = int(data["opt/t"])
+
+
+def _no_hooks(point: str, path: Path) -> None:
+    return None
 
 
 def save_checkpoint(
@@ -140,16 +229,27 @@ def save_checkpoint(
     optimizer=None,
     compressor=None,
     world_size: int | None = None,
-) -> None:
+    step: int | None = None,
+    hooks: Callable[[str, Path], None] | None = None,
+) -> Path:
     """Atomically write model (+ optional K-FAC/optimizer/compressor) state.
 
     ``world_size`` stamps the archive with the cluster size it was taken
     at; restores can then reject a checkpoint from a differently-sized
     world (layer-ownership tables and per-rank state are world-indexed).
+    ``step`` stamps the training step the archive represents (stores use
+    it to resume from the right batch after a generation fallback).
+
+    ``hooks(point, path)`` is called at each :data:`SAVE_POINTS` stage —
+    the storage fault plane uses it to inject crashes and torn writes at
+    deterministic points.  Returns the final archive path.
     """
+    hook = hooks if hooks is not None else _no_hooks
     arrays: dict[str, np.ndarray] = {"meta/schema_version": np.array(SCHEMA_VERSION)}
     if world_size is not None:
         arrays["meta/world_size"] = np.array(int(world_size))
+    if step is not None:
+        arrays["meta/step"] = np.array(int(step))
     for name, p in model.named_parameters():
         arrays[f"param/{name}"] = p.data
     if kfac is not None:
@@ -172,15 +272,170 @@ def save_checkpoint(
         _collect_optimizer(arrays, optimizer)
     if compressor is not None:
         _collect_compressor(arrays, compressor)
+    arrays["meta/content_crc32"] = np.array(content_crc32(arrays), dtype=np.uint32)
 
     final = _final_path(path)
-    tmp = final.with_name(f".{final.stem}.tmp.npz")
+    tmp = final.with_name(f".{final.stem}.tmp.{os.getpid()}-{next(_TMP_COUNTER)}.npz")
     try:
+        hook("save:begin", final)
         np.savez_compressed(tmp, **arrays)
+        hook("save:tmp_written", tmp)
         os.replace(tmp, final)
+        hook("save:replaced", final)
     finally:
         if tmp.exists():
             tmp.unlink()
+    return final
+
+
+def _open_archive(path: Path):
+    """``np.load`` with torn/garbage archives surfaced as CheckpointError."""
+    import zipfile
+
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as exc:
+        raise CheckpointError(f"{path}: unreadable checkpoint archive ({exc})") from exc
+
+
+def _read_all(path: Path) -> dict[str, np.ndarray]:
+    """Fully materialise an archive, surfacing member corruption loudly.
+
+    ``np.load`` is lazy: a flipped byte inside a member only explodes
+    when that member is accessed, which without this step could be
+    halfway through a restore.  Reading (and CRC-checking, via the zip
+    layer) every member up front guarantees corruption is detected
+    before any state is mutated.
+    """
+    import zipfile
+
+    with _open_archive(path) as data:
+        try:
+            return {key: data[key] for key in data.files}
+        except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as exc:
+            raise CheckpointError(f"{path}: corrupt checkpoint section ({exc})") from exc
+        except zlib.error as exc:
+            raise CheckpointError(f"{path}: corrupt checkpoint section ({exc})") from exc
+
+
+def read_meta(data: dict[str, np.ndarray]) -> dict:
+    """The ``meta/*`` section of a materialised archive as plain ints."""
+    meta: dict = {
+        "schema_version": int(data["meta/schema_version"])
+        if "meta/schema_version" in data
+        else 1
+    }
+    for key, name in (("meta/world_size", "world_size"), ("meta/step", "step")):
+        if key in data:
+            meta[name] = int(data[key])
+    if "meta/content_crc32" in data:
+        meta["content_crc32"] = int(data["meta/content_crc32"])
+    return meta
+
+
+def verify_checkpoint(path: str | Path) -> dict:
+    """Verify an archive's content seal without restoring anything.
+
+    Returns the archive's meta dict (``schema_version``, optional
+    ``world_size``/``step``, ``content_crc32``, plus ``sealed``: whether
+    a seal was present to check).  Raises :class:`CheckpointError` on an
+    unreadable archive or a seal mismatch; pre-seal archives (schema
+    version < 3) verify structurally only, with ``sealed=False``.
+    """
+    data = _read_all(_final_path(path))
+    meta = read_meta(data)
+    stored = meta.get("content_crc32")
+    if stored is None:
+        meta["sealed"] = False
+        return meta
+    actual = content_crc32(data)
+    if actual != stored:
+        raise CheckpointError(
+            f"{_final_path(path)}: content seal mismatch "
+            f"(stored crc32 {stored:#010x}, actual {actual:#010x}) — bit rot "
+            f"or tampering"
+        )
+    meta["sealed"] = True
+    return meta
+
+
+def _expected_factor_dims(kfac, idx: int) -> tuple[int, int]:
+    """(in_features+bias, out_features) — the A/G factor dimensions."""
+    layer = kfac.layers[idx]
+    out_f = layer.weight.shape[0]
+    in_f = int(np.prod(layer.weight.shape[1:]))
+    if getattr(layer, "bias", None) is not None:
+        in_f += 1
+    return in_f, out_f
+
+
+def _check_shape(key: str, arr: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    if arr.shape != shape:
+        raise CheckpointError(
+            f"checkpoint K-FAC state {key!r} has shape {arr.shape}, expected {shape}"
+        )
+    return arr
+
+
+def _restore_kfac(data, kfac) -> None:
+    """Restore K-FAC factors with full shape validation.
+
+    Every factor array is validated against the model's layer dimensions
+    before any assignment: A must be (in+bias)², G out², eigenvector/
+    eigenvalue arrays must match their factors, and the momentum buffer
+    must match the layer's gradient shape.  A factor section that is
+    present but incomplete (A without G/n_updates, QA without vG, ...)
+    raises naming the missing key — a half-restored preconditioner is a
+    silently wrong trajectory, not a recovery.
+    """
+    if "kfac/t" in data:
+        kfac.t = int(data["kfac/t"])
+    for idx, st in kfac.state.items():
+        in_f, out_f = _expected_factor_dims(kfac, idx)
+        a_key = f"kfac/{idx}/A"
+        if a_key in data:
+            for needed in (f"kfac/{idx}/G", f"kfac/{idx}/n_updates"):
+                if needed not in data:
+                    raise CheckpointError(
+                        f"checkpoint K-FAC state is incomplete: {a_key!r} present "
+                        f"but {needed!r} missing"
+                    )
+            A = _check_shape(a_key, data[a_key], (in_f, in_f))
+            G = _check_shape(f"kfac/{idx}/G", data[f"kfac/{idx}/G"], (out_f, out_f))
+            st.A = A
+            st.G = G
+            st.n_updates = int(data[f"kfac/{idx}/n_updates"])
+            if f"kfac/{idx}/QA" in data:
+                # Saved eigendecomposition: restore verbatim so a resumed
+                # run keeps the exact inverse it was using (recomputing
+                # from A/G would re-warm mid-interval).
+                for needed in (f"kfac/{idx}/vA", f"kfac/{idx}/QG", f"kfac/{idx}/vG"):
+                    if needed not in data:
+                        raise CheckpointError(
+                            f"checkpoint K-FAC state is incomplete: "
+                            f"'kfac/{idx}/QA' present but {needed!r} missing"
+                        )
+                st.QA = _check_shape(f"kfac/{idx}/QA", data[f"kfac/{idx}/QA"], (in_f, in_f))
+                st.vA = _check_shape(f"kfac/{idx}/vA", data[f"kfac/{idx}/vA"], (in_f,))
+                st.QG = _check_shape(f"kfac/{idx}/QG", data[f"kfac/{idx}/QG"], (out_f, out_f))
+                st.vG = _check_shape(f"kfac/{idx}/vG", data[f"kfac/{idx}/vG"], (out_f,))
+            else:
+                kfac.compute_eigen(idx)
+        if f"kfac/{idx}/momentum" in data:
+            st.momentum_buf = _check_shape(
+                f"kfac/{idx}/momentum", data[f"kfac/{idx}/momentum"], (out_f, in_f)
+            )
+    for i in range(len(kfac._other_momentum)):
+        key = f"kfac/other_momentum/{i}"
+        if key in data:
+            if data[key].shape != kfac._other_momentum[i].shape:
+                raise CheckpointError(
+                    f"checkpoint K-FAC state {key!r} has shape {data[key].shape}, "
+                    f"expected {kfac._other_momentum[i].shape}"
+                )
+            kfac._other_momentum[i][...] = data[key]
 
 
 def load_checkpoint(
@@ -191,75 +446,72 @@ def load_checkpoint(
     optimizer=None,
     compressor=None,
     expect_world_size: int | None = None,
-) -> None:
+    verify: bool | None = None,
+) -> dict:
     """Restore state written by :func:`save_checkpoint` in place.
 
     Raises :class:`CheckpointError` — before touching any state — when
-    the archive's schema version is not one this build understands, or
-    when ``expect_world_size`` is given and disagrees with the recorded
-    world size.  Raises ``KeyError`` if the checkpoint is missing a
-    parameter the model has, and ``ValueError`` on shape mismatches —
-    silent partial restores are worse than failing loudly.  Archives
-    without ``meta/*`` keys (schema version 1) keep loading; optimizer/
-    compressor keys are likewise optional.
+    the archive is unreadable or torn, its content seal does not match
+    (``verify=None``, the default, checks the seal whenever one is
+    present; ``verify=True`` additionally *requires* one), the schema
+    version is not one this build understands, ``expect_world_size``
+    disagrees with the recorded world size, or any K-FAC/optimizer
+    section is partial or mis-shaped.  Raises ``KeyError`` if the
+    checkpoint is missing a parameter the model has, and ``ValueError``
+    on parameter shape mismatches — silent partial restores are worse
+    than failing loudly.  Archives without ``meta/*`` keys (schema
+    version 1) keep loading; optimizer/compressor keys are likewise
+    optional *as whole sections*.
+
+    Returns the archive's meta dict (schema version, world size, step).
     """
-    with np.load(_final_path(path)) as data:
-        version = int(data["meta/schema_version"]) if "meta/schema_version" in data else 1
-        if version > SCHEMA_VERSION:
+    data = _read_all(_final_path(path))
+    meta = read_meta(data)
+    version = meta["schema_version"]
+    if version > SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint schema version {version} is newer than this build's "
+            f"{SCHEMA_VERSION}; refusing a partial restore"
+        )
+    stored_crc = meta.get("content_crc32")
+    if verify and stored_crc is None:
+        raise CheckpointError(
+            f"{_final_path(path)}: verify=True but the archive carries no "
+            f"content seal (schema version {version})"
+        )
+    if stored_crc is not None and verify is not False:
+        actual = content_crc32(data)
+        if actual != stored_crc:
             raise CheckpointError(
-                f"checkpoint schema version {version} is newer than this build's "
-                f"{SCHEMA_VERSION}; refusing a partial restore"
+                f"{_final_path(path)}: content seal mismatch "
+                f"(stored crc32 {stored_crc:#010x}, actual {actual:#010x})"
             )
-        if expect_world_size is not None:
-            stored_world = (
-                int(data["meta/world_size"]) if "meta/world_size" in data else None
+    if expect_world_size is not None:
+        stored_world = meta.get("world_size")
+        if stored_world is None:
+            raise CheckpointError(
+                f"checkpoint records no world size (schema version {version}) "
+                f"but the caller requires world_size={expect_world_size}"
             )
-            if stored_world is None:
-                raise CheckpointError(
-                    f"checkpoint records no world size (schema version {version}) "
-                    f"but the caller requires world_size={expect_world_size}"
-                )
-            if stored_world != expect_world_size:
-                raise CheckpointError(
-                    f"checkpoint was taken at world_size={stored_world}, "
-                    f"cannot restore into world_size={expect_world_size}"
-                )
-        for name, p in model.named_parameters():
-            key = f"param/{name}"
-            if key not in data:
-                raise KeyError(f"checkpoint missing parameter {name!r}")
-            stored = data[key]
-            if stored.shape != p.data.shape:
-                raise ValueError(
-                    f"shape mismatch for {name!r}: checkpoint {stored.shape}, model {p.data.shape}"
-                )
-            p.data = stored.astype(np.float32)
-        if kfac is not None:
-            if "kfac/t" in data:
-                kfac.t = int(data["kfac/t"])
-            for idx, st in kfac.state.items():
-                a_key = f"kfac/{idx}/A"
-                if a_key in data:
-                    st.A = data[a_key]
-                    st.G = data[f"kfac/{idx}/G"]
-                    st.n_updates = int(data[f"kfac/{idx}/n_updates"])
-                    if f"kfac/{idx}/QA" in data:
-                        # Saved eigendecomposition: restore verbatim so a
-                        # resumed run keeps the exact inverse it was using
-                        # (recomputing from A/G would re-warm mid-interval).
-                        st.QA = data[f"kfac/{idx}/QA"]
-                        st.vA = data[f"kfac/{idx}/vA"]
-                        st.QG = data[f"kfac/{idx}/QG"]
-                        st.vG = data[f"kfac/{idx}/vG"]
-                    else:
-                        kfac.compute_eigen(idx)
-                if f"kfac/{idx}/momentum" in data:
-                    st.momentum_buf = data[f"kfac/{idx}/momentum"]
-            for i in range(len(kfac._other_momentum)):
-                key = f"kfac/other_momentum/{i}"
-                if key in data:
-                    kfac._other_momentum[i][...] = data[key]
-        if optimizer is not None:
-            _restore_optimizer(data, optimizer)
-        if compressor is not None:
-            _restore_compressor(data, compressor)
+        if stored_world != expect_world_size:
+            raise CheckpointError(
+                f"checkpoint was taken at world_size={stored_world}, "
+                f"cannot restore into world_size={expect_world_size}"
+            )
+    for name, p in model.named_parameters():
+        key = f"param/{name}"
+        if key not in data:
+            raise KeyError(f"checkpoint missing parameter {name!r}")
+        stored = data[key]
+        if stored.shape != p.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: checkpoint {stored.shape}, model {p.data.shape}"
+            )
+        p.data = stored.astype(np.float32)
+    if kfac is not None:
+        _restore_kfac(data, kfac)
+    if optimizer is not None:
+        _restore_optimizer(data, optimizer)
+    if compressor is not None:
+        _restore_compressor(data, compressor)
+    return meta
