@@ -1,0 +1,162 @@
+"""Extension bench: xray critical-path attribution on seeded workloads.
+
+Runs the same seeded distributed K-FAC + COMPSO workload three ways —
+blocking, comm/compute overlapped, and blocking over a degraded link
+(latency 4x, bandwidth /8 for the whole run) — with the ``repro.xray``
+analyzer attached, and checks the subsystem's three load-bearing
+claims:
+
+* **identity** — on every run, every step's critical-path seconds equal
+  the step's simulated elapsed time to < 1e-9 (the telescoping-walk
+  construction, not a tolerance band);
+* **overlap accounting** — on the overlapped run the per-step hidden
+  comm totals reconcile with the runtime's own hidden/exposed split;
+* **attribution** — ``attribute_regression`` between the clean and the
+  degraded ledgers names a *comm* category as the regressing segment,
+  i.e. the tool points at the subsystem that was actually sabotaged.
+
+``benchmarks/out/BENCH_ext_xray.json`` carries the per-run identity
+errors, the on-path category split, and the attribution verdict.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from benchmarks._common import emit
+from repro import telemetry
+from repro.core import CompsoCompressor
+from repro.data import make_image_data
+from repro.distributed import SimCluster
+from repro.faults import FaultPlan, LinkDegradation
+from repro.kfac_dist import DistributedKfacTrainer
+from repro.models import resnet_proxy
+from repro.obsv import LedgerConfig, load_ledger
+from repro.runtime import ComputeModel, StreamRuntime
+from repro.train import ClassificationTask
+from repro.util.tables import format_table
+from repro.xray import attribute_regression, xray_records
+
+ITERATIONS = 8
+
+
+def _run(ledger_path, *, overlap=False, slow_net=False):
+    """One seeded K-FAC run with the xray analyzer attached."""
+    plan = None
+    if slow_net:
+        plan = FaultPlan(
+            degradations=[
+                LinkDegradation(
+                    start=0, stop=ITERATIONS, latency_factor=4.0, bandwidth_factor=8.0
+                )
+            ]
+        )
+    cluster = SimCluster(2, 2, seed=0, fault_plan=plan)
+    runtime = None
+    if overlap:
+        runtime = StreamRuntime(
+            cluster, overlap=True, n_comm_streams=2, compute=ComputeModel(train_flops=5e7)
+        )
+    task = ClassificationTask(
+        make_image_data(160, n_classes=4, size=8, noise=0.5, seed=0)
+    )
+    trainer = DistributedKfacTrainer(
+        resnet_proxy(n_classes=4, channels=4, rng=3),
+        task,
+        cluster,
+        lr=0.05,
+        inv_update_freq=2,
+        compressor=CompsoCompressor(4e-3, 4e-3, seed=0),
+        runtime=runtime,
+        reliable_channel=False,
+        obsv=LedgerConfig(ledger_path),
+        xray=True,
+    )
+    with telemetry.session():
+        trainer.train(iterations=ITERATIONS, batch_size=32, seed=0)
+    return trainer
+
+
+def run_experiment():
+    workdir = Path(tempfile.mkdtemp(prefix="bench_xray_"))
+    runs = {}
+    trainers = {}
+    for name, kwargs in (
+        ("blocking", {}),
+        ("overlapped", {"overlap": True}),
+        ("slow-net", {"slow_net": True}),
+    ):
+        path = workdir / f"{name}.ledger"
+        trainers[name] = _run(path, **kwargs)
+        records = xray_records(load_ledger(path))
+        runs[name] = {
+            "path": path,
+            "records": records,
+            "identity_err": max(
+                abs(r["critpath_s"] - r["elapsed_s"]) for r in records
+            ),
+            "critpath_s": sum(r["critpath_s"] for r in records),
+            "exposed_comm_s": sum(r["exposed_comm_s"] for r in records),
+            "hidden_comm_s": sum(r["hidden_comm_s"] for r in records),
+        }
+    runs["overlapped"]["runtime_hidden_s"] = trainers[
+        "overlapped"
+    ].runtime.hidden_comm_seconds()
+    verdict = attribute_regression(
+        load_ledger(runs["blocking"]["path"]), load_ledger(runs["slow-net"]["path"])
+    )
+    shutil.rmtree(workdir, ignore_errors=True)
+    for r in runs.values():
+        r.pop("path")
+    return runs, verdict
+
+
+def test_ext_xray(benchmark):
+    runs, verdict = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{r['critpath_s'] * 1e3:.4f}",
+            f"{r['exposed_comm_s'] * 1e3:.4f}",
+            f"{r['hidden_comm_s'] * 1e3:.4f}",
+            f"{r['identity_err']:.2e}",
+        ]
+        for name, r in runs.items()
+    ]
+    table = format_table(
+        ["run", "critpath ms", "exposed comm ms", "hidden comm ms", "identity err s"],
+        rows,
+        title=f"xray critical-path attribution — {ITERATIONS} seeded K-FAC steps",
+    )
+    verdict_line = (
+        f"attribution clean -> slow-net: segment `{verdict['segment']}` "
+        f"({verdict['kind']}) +{verdict['delta_s'] * 1e3:.4f} ms "
+        f"of +{verdict['total_delta_s'] * 1e3:.4f} ms total"
+    )
+    emit(
+        "ext_xray",
+        f"{table}\n\n{verdict_line}",
+        data={
+            "runs": {
+                name: {k: v for k, v in r.items() if k != "records"}
+                for name, r in runs.items()
+            },
+            "attribution": verdict,
+        },
+    )
+
+    # The telescoping identity holds on every run, step by step.
+    for name, r in runs.items():
+        assert r["identity_err"] < 1e-9, name
+    # Overlap genuinely hides comm, and the xray accounting reconciles
+    # with the runtime's own hidden/exposed split.
+    assert runs["blocking"]["hidden_comm_s"] == 0.0
+    assert runs["overlapped"]["hidden_comm_s"] > 0.0
+    assert abs(
+        runs["overlapped"]["hidden_comm_s"] - runs["overlapped"]["runtime_hidden_s"]
+    ) < 1e-9
+    # The degraded link slows the run, and attribution names comm.
+    assert runs["slow-net"]["critpath_s"] > runs["blocking"]["critpath_s"]
+    assert verdict["kind"] == "comm"
+    assert verdict["delta_s"] > 0.0

@@ -42,6 +42,7 @@ __all__ = [
     "guard",
     "autotune",
     "obsv",
+    "xray",
     "data",
     "train",
     "telemetry",

@@ -30,7 +30,10 @@ Commands:
 * ``report`` — render a recorded ledger as a self-contained HTML
   dashboard plus a markdown summary;
 * ``diff`` — compare two ledgers under per-metric tolerance bands and
-  exit non-zero on regression (the CI perf gate);
+  exit non-zero on regression (the CI perf gate); ``--attribute`` names
+  the critical-path segment responsible for a slowdown;
+* ``xray`` — render an xray-enabled ledger's per-step critical-path
+  attribution as a self-contained HTML flame view plus markdown;
 * ``fleet`` — time-share the simulated fabric between a fleet of
   concurrent training jobs on the representative-rank timing track,
   reporting per-job contention, slowdown, and peak payload memory;
@@ -404,12 +407,15 @@ def cmd_overlap(args: argparse.Namespace) -> int:
     return 0
 
 
-#: ``repro record`` presets: one honest configuration and one with a
+#: ``repro record`` presets: one honest configuration, one with a
 #: deliberately loosened error bound (the regression the diff gate must
-#: catch).  Everything else is shared so the two runs stay like-for-like.
+#: catch), and one on a deliberately slowed fabric (the regression
+#: ``diff --attribute`` must *name*: its critical path grows in a comm
+#: category).  Everything else is shared so the runs stay like-for-like.
 _RECORD_PRESETS = {
     "smoke": {"eb": 4e-3},
     "smoke-degraded": {"eb": 0.5},
+    "smoke-slow-net": {"eb": 4e-3, "slow_net": True},
 }
 
 
@@ -425,11 +431,29 @@ def cmd_record(args: argparse.Namespace) -> int:
     from repro.runtime import ComputeModel, StreamRuntime
     from repro.train import ClassificationTask
 
-    eb = args.eb if args.eb is not None else _RECORD_PRESETS[args.preset]["eb"]
+    preset = _RECORD_PRESETS[args.preset]
+    eb = args.eb if args.eb is not None else preset["eb"]
     task = ClassificationTask(
         make_image_data(256, n_classes=5, size=8, noise=0.5, seed=0)
     )
-    cluster = SimCluster(args.nodes, args.gpus_per_node, seed=0)
+    plan = None
+    if preset.get("slow_net"):
+        from repro.faults import FaultPlan, LinkDegradation
+
+        # A degradation window covering the whole run: every collective
+        # pays 4x latency and 1/8 bandwidth, so the critical path grows
+        # in the comm categories — the segment attribution must name.
+        plan = FaultPlan(
+            degradations=[
+                LinkDegradation(
+                    start=0,
+                    stop=args.iterations,
+                    latency_factor=4.0,
+                    bandwidth_factor=8.0,
+                )
+            ]
+        )
+    cluster = SimCluster(args.nodes, args.gpus_per_node, seed=0, fault_plan=plan)
     runtime = None
     if not args.no_overlap:
         runtime = StreamRuntime(
@@ -445,6 +469,8 @@ def cmd_record(args: argparse.Namespace) -> int:
         runtime=runtime,
         guard=None if args.no_guard else GuardConfig(),
         obsv=LedgerConfig(args.out, note=f"preset={args.preset} eb={eb}"),
+        xray=True if args.xray else None,
+        reliable_channel=False,
     )
     with telemetry.session():
         trainer.train(
@@ -588,6 +614,27 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_xray(args: argparse.Namespace) -> int:
+    from repro.obsv import load_ledger
+    from repro.xray import render_xray_markdown, write_xray_report, xray_records
+
+    ledger = load_ledger(args.ledger)
+    stem = args.ledger.rsplit(".", 1)[0]
+    html_path = args.html if args.html else f"{stem}.xray.html"
+    md_path = args.md if args.md else f"{stem}.xray.md"
+    written = write_xray_report(ledger, html_path=html_path, md_path=md_path)
+    print(render_xray_markdown(ledger))
+    for p in written:
+        print(f"wrote {p}")
+    if not xray_records(ledger):
+        print(
+            "ERROR: ledger has no xray records — record with --xray",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_diff(args: argparse.Namespace) -> int:
     from repro.obsv import DEFAULT_SPECS, diff_ledgers, load_ledger, parse_tolerance
 
@@ -599,11 +646,34 @@ def cmd_diff(args: argparse.Namespace) -> int:
     candidate = load_ledger(args.candidate)
     diff = diff_ledgers(baseline, candidate, tolerances=overrides)
     print(diff.format_table(title=f"run diff — {args.baseline} vs {args.candidate}"))
+    attribution = None
+    if args.attribute:
+        from repro.xray import attribute_regression
+
+        attribution = attribute_regression(baseline, candidate)
+        if attribution is None:
+            print(
+                "\nattribution: unavailable (both ledgers must be recorded "
+                "with xray enabled)"
+            )
+        else:
+            share = attribution["share"]
+            share_txt = f"{share:.0%} of" if share is not None else "against a"
+            print(
+                f"\nattribution: segment `{attribution['segment']}` "
+                f"({attribution['kind']}) moved {attribution['delta_s']:+.6g} s "
+                f"on the critical path — {share_txt} "
+                f"{attribution['total_delta_s']:+.6g} s total; "
+                f"busiest phase: {attribution['phase']}"
+            )
     if args.json:
         import json
 
+        payload = diff.to_dict()
+        if args.attribute:
+            payload["attribution"] = attribution
         with open(args.json, "w") as f:
-            json.dump(diff.to_dict(), f, indent=2)
+            json.dump(payload, f, indent=2)
         print(f"\nwrote {args.json}")
     if not diff.ok:
         names = ", ".join(r.metric for r in diff.regressions)
@@ -826,6 +896,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eb", type=float, default=None, help="override the preset's error bound")
     p.add_argument("--no-guard", action="store_true", help="disable the guard layer")
     p.add_argument("--no-overlap", action="store_true", help="disable the overlap runtime")
+    p.add_argument(
+        "--xray",
+        action="store_true",
+        help="fold per-step critical-path attribution records into the ledger",
+    )
     p.set_defaults(func=cmd_record)
 
     p = sub.add_parser(
@@ -875,6 +950,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--md", default="", help="markdown output path (default: <ledger>.md)")
     p.set_defaults(func=cmd_report)
 
+    p = sub.add_parser(
+        "xray", help="render a ledger's critical-path attribution (flame view)"
+    )
+    p.add_argument("ledger", help="path to a ledger recorded with --xray")
+    p.add_argument("--html", default="", help="HTML output path (default: <ledger>.xray.html)")
+    p.add_argument("--md", default="", help="markdown output path (default: <ledger>.xray.md)")
+    p.set_defaults(func=cmd_xray)
+
     p = sub.add_parser("diff", help="compare two ledgers; exit non-zero on regression")
     p.add_argument("baseline", help="baseline .ledger")
     p.add_argument("candidate", help="candidate .ledger")
@@ -884,6 +967,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="METRIC=VALUE",
         help="tolerance override, e.g. final_loss=0.1, sim_time=abs:0.01 "
         "(VALUE is a relative band unless prefixed abs:)",
+    )
+    p.add_argument(
+        "--attribute",
+        action="store_true",
+        help="name the critical-path segment responsible for a slowdown "
+        "(both ledgers must be recorded with --xray)",
     )
     p.add_argument("--json", default="", help="write the diff result as JSON to this path")
     p.set_defaults(func=cmd_diff)

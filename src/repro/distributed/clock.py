@@ -79,6 +79,11 @@ class VirtualClockPlane:
         self.base = 0.0
         self.skew: dict[int, float] = {}
         self.categories: dict[str, float] = defaultdict(float)
+        # Straggler accounting for xray: how many seconds each rank has
+        # led a barrier by (it arrived last, everyone else waited on it),
+        # plus the total mean per-rank barrier wait.  Sparse, like skew.
+        self.lead_seconds: dict[int, float] = {}
+        self.barrier_wait_s = 0.0
 
     @property
     def max_now(self) -> float:
@@ -120,9 +125,24 @@ class VirtualClockPlane:
         top = max(self.skew.values())
         if top > 0.0:
             mean_skew = sum(self.skew.values()) / self.world_size
+            top_rank = min(r for r, s in self.skew.items() if s == top)
+            self.lead_seconds[top_rank] = self.lead_seconds.get(top_rank, 0.0) + top
+            self.barrier_wait_s += top - mean_skew
             self.categories[category] += top - mean_skew
             self.base += top
         self.skew.clear()
+
+    def top_straggler(self) -> tuple[int, float] | None:
+        """The rank that led the most barrier time (rank, seconds).
+
+        Returns ``None`` when no barrier has folded skew yet; ties break
+        to the lowest rank id.
+        """
+        if not self.lead_seconds:
+            return None
+        top = max(self.lead_seconds.values())
+        rank = min(r for r, s in self.lead_seconds.items() if s == top)
+        return rank, top
 
     def breakdown(self) -> dict[str, float]:
         return dict(self.categories)
@@ -131,6 +151,8 @@ class VirtualClockPlane:
         self.base = 0.0
         self.skew.clear()
         self.categories.clear()
+        self.lead_seconds.clear()
+        self.barrier_wait_s = 0.0
 
 
 class VirtualClock:

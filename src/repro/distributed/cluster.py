@@ -353,9 +353,11 @@ class SimCluster:
             if extras:
                 self.fault_delay_seconds += max(extras.values())
         t = max(r.clock.now for r in self.ranks)
+        op_spans = []  # per-rank collective legs, rank order
         for r in self.ranks:
+            wait_span = None
             if tracer.enabled and t > r.clock.now:
-                tracer.add_span(
+                wait_span = tracer.add_span(
                     "wait",
                     "wait",
                     t - r.clock.now,
@@ -367,7 +369,7 @@ class SimCluster:
             r.clock.sync_to(t)
             r.clock.advance(seconds, category)
             if tracer.enabled:
-                tracer.add_span(
+                op_span = tracer.add_span(
                     op or category,
                     category,
                     seconds,
@@ -376,6 +378,11 @@ class SimCluster:
                     rank=r.rank,
                     **attrs,
                 )
+                op_spans.append(op_span)
+                if wait_span is not None:
+                    # The barrier wait releases into this rank's leg of
+                    # the collective.
+                    tracer.add_edge(wait_span.id, op_span.id, "wait")
             extra = extras.get(r.rank, 0.0)
             if extra > 0.0:
                 r.clock.advance(extra, "fault_delay")
@@ -389,6 +396,10 @@ class SimCluster:
                         rank=r.rank,
                         op=op or category,
                     )
+        # Chain the per-rank legs of this collective in ascending rank
+        # order — one coupled operation, not world_size independent ones.
+        for a, b in zip(op_spans, op_spans[1:]):
+            tracer.add_edge(a.id, b.id, "collective")
 
     def _record_collective(
         self, op: str, seconds: float, raw_nbytes: float, wire_nbytes: float

@@ -253,6 +253,26 @@ class FleetJob:
         return self._fault_delay_past + self.cluster.fault_delay_seconds
 
     @property
+    def critpath_s(self) -> float:
+        """Critical-path sim seconds: on the timing track the shared
+        clock plane *is* the critical path (every barrier folds the
+        slowest rank into the base), so elapsed work time is exact."""
+        return self.work_time
+
+    @property
+    def straggler_skew_s(self) -> float:
+        """Mean per-rank barrier-wait seconds in the current segment
+        (the plane's straggler accounting resets when a crash or
+        preemption rebuilds the cluster)."""
+        plane = getattr(self.cluster, "_plane", None)
+        return plane.barrier_wait_s if plane is not None else 0.0
+
+    def top_straggler(self) -> tuple[int, float] | None:
+        """The rank that led the most barrier time, with its seconds."""
+        plane = getattr(self.cluster, "_plane", None)
+        return plane.top_straggler() if plane is not None else None
+
+    @property
     def useful_time(self) -> float:
         """Sim seconds of surviving work, net of fabric and fault stretch.
 

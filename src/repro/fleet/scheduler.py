@@ -95,6 +95,12 @@ class JobReport:
     store_fallbacks: int = 0
     store_quarantined: int = 0
     store_repairs: int = 0
+    #: Critical-path summary (xray-lite for the timing track): on a
+    #: virtual-clock plane the elapsed work time *is* the critical path,
+    #: and barrier accounting names the rank the others waited on most.
+    critpath_s: float = 0.0
+    straggler_skew_s: float = 0.0
+    top_straggler_rank: int | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -279,6 +285,7 @@ class FleetScheduler:
     def _report(self, job: FleetJob) -> JobReport:
         spec = job.spec
         store = job.store.summary() if job.store is not None else {}
+        straggler = job.top_straggler()
         return JobReport(
             name=spec.name,
             world_size=spec.world_size,
@@ -302,6 +309,9 @@ class FleetScheduler:
             store_fallbacks=store.get("fallbacks", 0),
             store_quarantined=store.get("quarantined", 0),
             store_repairs=store.get("repairs", 0),
+            critpath_s=job.critpath_s,
+            straggler_skew_s=job.straggler_skew_s,
+            top_straggler_rank=straggler[0] if straggler is not None else None,
         )
 
 

@@ -68,6 +68,7 @@ class DistributedKfacTrainer:
         reliable_channel: bool = True,
         obsv=None,
         autotune=None,
+        xray=None,
     ):
         self.model = model
         self.task = task
@@ -155,6 +156,15 @@ class DistributedKfacTrainer:
                 compressor=self.compressor,
                 category="kfac_allgather",
             )
+        #: Optional :class:`repro.xray.XrayConfig` (or analyzer, or
+        #: ``True``): per-step critical-path attribution over the span
+        #: stream.  ``None`` (the default) is bit-identical to before —
+        #: the analyzer only reads tracer/cluster state.
+        from repro.xray import as_xray
+
+        self.xray = as_xray(xray)
+        if self.xray is not None:
+            self.xray.bind(trainer=self, cluster=cluster, runtime=self.runtime)
         from repro.obsv.ledger import as_ledger
 
         self.obsv = as_ledger(obsv)
@@ -168,6 +178,7 @@ class DistributedKfacTrainer:
                 compressor=self.compressor,
                 factor_compressor=self.factor_compressor,
                 autotune=self.autotune,
+                xray=self.xray,
             )
 
     def _layer_dims(self, idx: int) -> tuple[int, int]:
@@ -428,6 +439,10 @@ class DistributedKfacTrainer:
             if original > 0:
                 m.histogram("train.step_compression_ratio").observe(original / max(wire, 1.0))
             m.record_step(self.t, sim_time=self.cluster.time)
+        if self.xray is not None:
+            # Analyse the step's span window before the ledger folds the
+            # step, so the attribution record lands where it belongs.
+            self.xray.end_step(self.t)
         if self.obsv is not None:
             self.obsv.record_step(
                 self.t,

@@ -28,6 +28,7 @@ from repro.obsv.analytics import (
     span_totals,
     summarize,
     wire_series,
+    xray_timeline,
 )
 from repro.obsv.diff import (
     DEFAULT_SPECS,
@@ -85,4 +86,5 @@ __all__ = [
     "summarize",
     "wire_series",
     "write_report",
+    "xray_timeline",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "span_totals",
     "summarize",
     "wire_series",
+    "xray_timeline",
 ]
 
 
@@ -87,6 +88,11 @@ def autotune_timeline(ledger: RunLedger) -> list[dict]:
     if isinstance(autotune, dict):
         out.extend(dict(event) for event in autotune.get("decisions", []))
     return out
+
+
+def xray_timeline(ledger: RunLedger) -> list[dict]:
+    """Per-step critical-path attribution records (empty if no xray)."""
+    return [r["xray"] for r in ledger.steps if isinstance(r.get("xray"), dict)]
 
 
 def overlap_summary(ledger: RunLedger) -> dict | None:
@@ -156,6 +162,23 @@ def summarize(ledger: RunLedger) -> dict:
     if isinstance(autotune, dict):
         out["autotune_retunes"] = autotune.get("retunes", 0)
         out["autotune_vetoes"] = autotune.get("vetoes", 0)
+    xray = final.get("xray")
+    if not isinstance(xray, dict):
+        # Fall back to step records (crash-truncated ledgers fsck'd
+        # without a written final xray summary).
+        records = xray_timeline(ledger)
+        if records:
+            xray = {
+                "critpath_s": sum(r.get("critpath_s", 0.0) for r in records),
+                "exposed_comm_s": sum(r.get("exposed_comm_s", 0.0) for r in records),
+                "straggler_skew_s": sum(r.get("straggler_skew_s", 0.0) for r in records),
+            }
+    if isinstance(xray, dict):
+        # xray_* keys exist exactly when the run was xray-enabled, so a
+        # diff gates them only when both sides analysed their traces.
+        out["xray_critpath_s"] = xray.get("critpath_s")
+        out["xray_exposed_comm_s"] = xray.get("exposed_comm_s")
+        out["xray_straggler_skew"] = xray.get("straggler_skew_s")
     fleet = ledger.manifest.get("fleet")
     if isinstance(fleet, dict) and "restarts" in fleet:
         # Fleet lifecycle fields (restarts/SLO/goodput) only exist on

@@ -83,6 +83,14 @@ DEFAULT_SPECS: dict[str, MetricSpec] = {
         MetricSpec("store_quarantined", "lower", abs_tol=1.0),
         MetricSpec("store_repairs", "lower", abs_tol=1.0),
         MetricSpec("ledger_repaired", "lower"),
+        # Xray critical-path attribution: present exactly when a run was
+        # recorded with xray enabled — comparing an xray run against a
+        # non-xray baseline is flagged as missing, since the pair is not
+        # like-for-like.  Bands mirror the sim-time ones: the critical
+        # path *is* sim time, decomposed.
+        MetricSpec("xray_critpath_s", "lower", rel_tol=0.35, abs_tol=1e-9),
+        MetricSpec("xray_exposed_comm_s", "lower", rel_tol=0.35, abs_tol=1e-9),
+        MetricSpec("xray_straggler_skew", "lower", rel_tol=0.5, abs_tol=1e-9),
     )
 }
 

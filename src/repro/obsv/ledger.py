@@ -200,6 +200,7 @@ class LedgerWriter:
         self._runtime = None
         self._guard = None
         self._autotune = None
+        self._xray = None
         # Cursors into append-only source streams.
         self._span_cursor = 0
         self._guard_cursor = 0
@@ -218,6 +219,7 @@ class LedgerWriter:
         compressor=None,
         factor_compressor=None,
         autotune=None,
+        xray=None,
     ) -> "LedgerWriter":
         """Attach the run's subsystems and fill the manifest config."""
         self._trainer = trainer
@@ -225,6 +227,7 @@ class LedgerWriter:
         self._runtime = runtime
         self._guard = guard
         self._autotune = autotune
+        self._xray = xray
         self._manifest["kind"] = kind
         if cluster is not None:
             self._manifest["cluster"] = {
@@ -255,6 +258,8 @@ class LedgerWriter:
             self._manifest["guard"] = guarded
         if autotune is not None:
             self._manifest["autotune"] = autotune.describe()
+        if xray is not None:
+            self._manifest["xray"] = xray.describe()
         return self
 
     def update_manifest(self, **fields) -> None:
@@ -380,6 +385,10 @@ class LedgerWriter:
         autotune_events = self._capture_autotune_events()
         if autotune_events:
             record["autotune_events"] = autotune_events
+        if self._xray is not None:
+            xray_record = self._xray.take_step_record()
+            if xray_record is not None:
+                record["xray"] = xray_record
         spans = self._capture_spans()
         if spans is not None:
             record["spans"] = spans
@@ -421,6 +430,10 @@ class LedgerWriter:
             final["guard"] = self._guard.report()
         if self._autotune is not None:
             final["autotune"] = self._autotune.report()
+        if self._xray is not None:
+            xray_report = self._xray.report()
+            if xray_report is not None:
+                final["xray"] = xray_report
         return final
 
     def close(self, *, final_metric=None) -> Path:

@@ -21,6 +21,7 @@ from repro.obsv.analytics import (
     span_totals,
     summarize,
     wire_series,
+    xray_timeline,
 )
 from repro.obsv.ledger import RunLedger
 from repro.util.tables import format_table
@@ -143,6 +144,31 @@ def render_markdown(ledger: RunLedger) -> str:
                 f"- step {d.get('step')}: `{d.get('kind')}` "
                 f"`{d.get('from')}` → `{d.get('to')}` ({d.get('reason')})"
             )
+    xrays = xray_timeline(ledger)
+    if xrays:
+        lines.append("")
+        lines.append("## Critical path (xray)")
+        lines.append("")
+        lines.append("```")
+        lines.append(
+            format_table(
+                ["step", "critpath s", "exposed comm s", "wait s", "straggler"],
+                [
+                    [
+                        r.get("step"),
+                        r.get("critpath_s"),
+                        r.get("exposed_comm_s"),
+                        r.get("wait_s"),
+                        _fmt(r.get("straggler_rank")),
+                    ]
+                    for r in xrays
+                ],
+                floatfmt=".6g",
+            )
+        )
+        lines.append("```")
+        lines.append("")
+        lines.append("(full flame view: `repro xray <ledger>`)")
     totals = span_totals(ledger)
     for track, cats in totals.items():
         lines.append("")
@@ -233,6 +259,31 @@ def render_html(ledger: RunLedger) -> str:
                 [
                     [d.get("step"), d.get("kind"), d.get("from"), d.get("to"), d.get("reason")]
                     for d in decisions
+                ],
+            )
+        )
+    xrays = xray_timeline(ledger)
+    if xrays:
+        sections.append("<h2>Critical path (xray)</h2>")
+        sections.append(
+            _svg_line(
+                [r.get("critpath_s", 0.0) for r in xrays],
+                title="critical-path seconds per step",
+                color="#b91c1c",
+            )
+        )
+        sections.append(
+            _html_table(
+                ["step", "critpath s", "exposed comm s", "wait s", "straggler"],
+                [
+                    [
+                        r.get("step"),
+                        r.get("critpath_s"),
+                        r.get("exposed_comm_s"),
+                        r.get("wait_s"),
+                        r.get("straggler_rank"),
+                    ]
+                    for r in xrays
                 ],
             )
         )

@@ -294,6 +294,7 @@ class StreamRuntime:
                 cluster.fault_delay_seconds += max(extras.values())
         tracer = get_tracer()
         world = max(len(cluster.ranks), 1)
+        transfer_spans = []  # per-rank comm-stream legs, rank order
         for r in cluster.ranks:
             done = handle.start + handle.seconds + extras.get(r.rank, 0.0)
             stream = handle._streams.get(r.rank, 1)
@@ -301,8 +302,9 @@ class StreamRuntime:
             if done > self._busy.get(key, 0.0):
                 self._busy[key] = done
             duration = done - handle.start
+            transfer = None
             if tracer.enabled and duration > 0.0:
-                tracer.add_span(
+                transfer = tracer.add_span(
                     handle.op,
                     handle.category,
                     duration,
@@ -312,6 +314,7 @@ class StreamRuntime:
                     stream=stream,
                     **handle.attrs,
                 )
+                transfer_spans.append(transfer)
             now = r.clock.now
             hidden = min(max(now - handle.start, 0.0), duration)
             self._hidden[handle.category] = (
@@ -326,7 +329,7 @@ class StreamRuntime:
                 # the collective's category; the stream-0 span mirrors the
                 # clock mutation exactly, keeping breakdown reconciliation.
                 if tracer.enabled:
-                    tracer.add_span(
+                    exposed = tracer.add_span(
                         handle.op,
                         handle.category,
                         done - now,
@@ -335,7 +338,14 @@ class StreamRuntime:
                         rank=r.rank,
                         **handle.attrs,
                     )
+                    if transfer is not None:
+                        # The compute stream blocked on this comm-stream leg.
+                        tracer.add_edge(transfer.id, exposed.id, "wait")
                 r.clock.sync_to(done, handle.category)
+        # One collective couples all participating ranks: chain the
+        # per-rank comm-stream legs in ascending rank order.
+        for a, b in zip(transfer_spans, transfer_spans[1:]):
+            tracer.add_edge(a.id, b.id, "collective")
         handle._results = handle._finalize()
         handle._completed = True
         return handle._results

@@ -51,16 +51,19 @@ from repro.telemetry.tracer import (
     HOST_TRACK,
     NULL_TRACER,
     SIM_TRACK,
+    Edge,
     NullTracer,
     Span,
     Tracer,
     get_tracer,
     set_tracer,
+    span_sort_key,
 )
 
 __all__ = [
     "Counter",
     "DEVICE_TRACK",
+    "Edge",
     "Gauge",
     "HOST_TRACK",
     "Histogram",
@@ -83,6 +86,7 @@ __all__ = [
     "session",
     "set_metrics",
     "set_tracer",
+    "span_sort_key",
     "summary_table",
     "write_chrome_trace",
     "write_metrics_jsonl",

@@ -112,6 +112,44 @@ def chrome_trace(tracer: Tracer) -> dict:
                 "args": s.attrs,
             }
         )
+    # Causal edges become flow events ("s" at the source span's end, "f"
+    # bound to the destination span) so Perfetto draws cross-stream wait
+    # and collective arrows.  "parent" edges are skipped — lexical nesting
+    # is already visible as slice containment.  With no edges recorded the
+    # document is byte-identical to the pre-flow exporter.
+    by_id = {s.id: s for s in spans}
+    flow_id = 0
+    for edge in tracer.edges():
+        if edge.kind == "parent":
+            continue
+        src = by_id.get(edge.src)
+        dst = by_id.get(edge.dst)
+        if src is None or dst is None:
+            continue
+        events.append(
+            {
+                "ph": "s",
+                "name": edge.kind,
+                "cat": edge.kind,
+                "id": flow_id,
+                "pid": pids[src.track],
+                "tid": tid_of(src.track, src.rank, src.stream),
+                "ts": src.end * 1e6,
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "name": edge.kind,
+                "cat": edge.kind,
+                "id": flow_id,
+                "pid": pids[dst.track],
+                "tid": tid_of(dst.track, dst.rank, dst.stream),
+                "ts": dst.start * 1e6,
+            }
+        )
+        flow_id += 1
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "DEVICE_TRACK",
+    "Edge",
     "HOST_TRACK",
     "NULL_TRACER",
     "NullTracer",
@@ -39,6 +40,7 @@ __all__ = [
     "Tracer",
     "get_tracer",
     "set_tracer",
+    "span_sort_key",
 ]
 
 SIM_TRACK = "sim"
@@ -66,10 +68,48 @@ class Span:
     #: Nesting depth (0 = top level) for summary rendering.
     depth: int = 0
     attrs: dict = field(default_factory=dict)
+    #: Stable per-tracer id, assigned on append (monotone in emission
+    #: order).  ``-1`` means "not yet collected"; causal :class:`Edge`
+    #: records reference spans by this id.
+    id: int = -1
 
     @property
     def end(self) -> float:
         return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One causal edge between two spans, by span id.
+
+    ``src`` causally precedes (or encloses) ``dst``.  Kinds used by the
+    simulator:
+
+    * ``"parent"`` — lexical nesting: ``src`` is the enclosing span.
+    * ``"collective"`` — couples the per-rank legs of one collective
+      operation; the edge chain orders ranks ascending.
+    * ``"wait"`` — couples a comm-stream transfer span to the stream-0
+      span that blocked on it (the exposed tail / barrier wait).
+    """
+
+    src: int
+    dst: int
+    kind: str
+
+
+def span_sort_key(span: Span):
+    """The documented stable ordering for span streams.
+
+    Sorts by ``(track, rank, stream, start, -duration, depth, id)`` with
+    ranks keyed so integer ranks order numerically and string ranks (the
+    timing track's ``"*"``) sort after them — no ``int < str`` comparisons.
+    The trailing ``id`` tiebreak makes the order total and equal to
+    emission order among otherwise-identical spans, so xray DAG
+    construction never depends on collection-time races.
+    """
+    rank = span.rank
+    rank_key = (1, 0, str(rank)) if isinstance(rank, str) else (0, rank, "")
+    return (span.track, rank_key, span.stream, span.start, -span.duration, span.depth, span.id)
 
 
 class _SpanContext:
@@ -95,7 +135,7 @@ class _SpanContext:
         return self
 
     def __exit__(self, *exc) -> bool:
-        depth = self._tracer._pop(self._track, self._rank)
+        depth, span_id, parent_id = self._tracer._pop(self._track, self._rank)
         t1 = self._now()
         self._tracer._append(
             Span(
@@ -107,8 +147,11 @@ class _SpanContext:
                 rank=self._rank,
                 depth=depth,
                 attrs=self._attrs,
+                id=span_id,
             )
         )
+        if parent_id is not None:
+            self._tracer.add_edge(parent_id, span_id, "parent")
         return False
 
 
@@ -120,9 +163,11 @@ class Tracer:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._spans: list[Span] = []
+        self._edges: list[Edge] = []
         self._cursors: dict[tuple[str, int], float] = {}
         self._local = threading.local()
         self._origin = time.perf_counter()
+        self._next_id = 0
 
     # -- time sources --------------------------------------------------------
 
@@ -136,26 +181,48 @@ class Tracer:
             return self._cursors.get((track, rank), 0.0)
 
     # -- nesting bookkeeping -------------------------------------------------
+    #
+    # Open-span state is a per-thread stack of reserved span ids keyed by
+    # (track, rank).  Depth is derived from stack length, so unbalanced
+    # ``_pop`` calls can never drive it negative (the pre-PR-10 ``_depths``
+    # counter underflowed and recorded spans at depth < 0 forever after).
 
-    def _depths(self) -> dict[tuple[str, int], int]:
-        d = getattr(self._local, "depths", None)
+    def _stacks(self) -> dict[tuple[str, int], list[int]]:
+        d = getattr(self._local, "stacks", None)
         if d is None:
-            d = self._local.depths = {}
+            d = self._local.stacks = {}
         return d
 
-    def _push(self, track: str, rank: int) -> None:
-        depths = self._depths()
-        depths[(track, rank)] = depths.get((track, rank), 0) + 1
+    def _reserve_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
 
-    def _pop(self, track: str, rank: int) -> int:
-        depths = self._depths()
-        depth = depths.get((track, rank), 1) - 1
-        depths[(track, rank)] = depth
-        return depth
+    def _push(self, track: str, rank: int) -> int:
+        """Reserve an id for an opening span and push it on the stack."""
+        span_id = self._reserve_id()
+        self._stacks().setdefault((track, rank), []).append(span_id)
+        return span_id
+
+    def _pop(self, track: str, rank: int) -> tuple[int, int, int | None]:
+        """Close the innermost open span on (track, rank).
+
+        Returns ``(depth, span_id, parent_id)``; depth is clamped at 0
+        even for unbalanced pops.
+        """
+        stack = self._stacks().setdefault((track, rank), [])
+        span_id = stack.pop() if stack else self._reserve_id()
+        depth = len(stack)
+        parent_id = stack[-1] if stack else None
+        return depth, span_id, parent_id
 
     def _append(self, span: Span) -> None:
         key = (span.track, span.rank)
         with self._lock:
+            if span.id < 0:
+                span.id = self._next_id
+                self._next_id += 1
             self._spans.append(span)
             if span.end > self._cursors.get(key, 0.0):
                 self._cursors[key] = span.end
@@ -216,7 +283,47 @@ class Tracer:
         self._append(span)
         return span
 
+    def add_edge(self, src: int, dst: int, kind: str) -> Edge | None:
+        """Record a causal edge between two collected span ids.
+
+        Negative ids (uncollected spans, or spans recorded through the
+        null tracer) are ignored so call sites can pass ``span.id``
+        without guarding.
+        """
+        if src < 0 or dst < 0:
+            return None
+        edge = Edge(src, dst, kind)
+        with self._lock:
+            self._edges.append(edge)
+        return edge
+
     # -- reading -------------------------------------------------------------
+
+    def edges(self, *, kind: str | None = None) -> list[Edge]:
+        """Snapshot of recorded causal edges, optionally filtered by kind."""
+        with self._lock:
+            out = list(self._edges)
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        return out
+
+    def ordered_spans(
+        self,
+        *,
+        track: str | None = None,
+        rank: int | None = None,
+        category: str | None = None,
+    ) -> list[Span]:
+        """Spans in the documented stable order (see :func:`span_sort_key`).
+
+        This — not raw :meth:`spans` insertion order — is the ordering
+        contract downstream consumers (xray DAG construction, digest
+        writers) should build on: it is a pure function of the recorded
+        span set, independent of collection-time interleaving.
+        """
+        return sorted(
+            self.spans(track=track, rank=rank, category=category), key=span_sort_key
+        )
 
     def spans(
         self,
@@ -288,7 +395,9 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
+            self._edges.clear()
             self._cursors.clear()
+            self._next_id = 0
 
 
 class _NullSpanContext:
@@ -323,7 +432,16 @@ class NullTracer:
     def add_span(self, *args, **kwargs) -> None:
         return None
 
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        return None
+
     def spans(self, **kwargs) -> list[Span]:
+        return []
+
+    def edges(self, **kwargs) -> list[Edge]:
+        return []
+
+    def ordered_spans(self, **kwargs) -> list[Span]:
         return []
 
     def tracks(self) -> list[str]:

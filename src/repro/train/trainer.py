@@ -94,6 +94,7 @@ class DistributedSgdTrainer:
         guard=None,
         obsv=None,
         autotune=None,
+        xray=None,
     ):
         self.model = model
         self.task = task
@@ -141,6 +142,14 @@ class DistributedSgdTrainer:
                 compressor=compressor,
                 category="grad_allreduce",
             )
+        #: Optional :class:`repro.xray.XrayConfig` (or analyzer, or
+        #: ``True``): per-step critical-path attribution over the span
+        #: stream.  ``None`` (the default) is bit-identical to before.
+        from repro.xray import as_xray
+
+        self.xray = as_xray(xray)
+        if self.xray is not None:
+            self.xray.bind(trainer=self, cluster=cluster, runtime=runtime)
         from repro.obsv.ledger import as_ledger
 
         self.obsv = as_ledger(obsv)
@@ -153,6 +162,7 @@ class DistributedSgdTrainer:
                 guard=self.guard,
                 compressor=compressor,
                 autotune=self.autotune,
+                xray=self.xray,
             )
 
     def _flat_grad(self) -> np.ndarray:
@@ -310,6 +320,8 @@ class DistributedSgdTrainer:
             m.gauge("train.loss").set(mean_loss)
             m.counter("train.steps").inc()
             m.record_step(self.t, sim_time=self.cluster.time)
+        if self.xray is not None:
+            self.xray.end_step(self.t)
         if self.obsv is not None:
             self.obsv.record_step(
                 self.t,

@@ -401,13 +401,33 @@ class TestExporters:
         assert events, "trace must not be empty"
         last_ts: dict[tuple, float] = {}
         for e in events:
-            assert e["ph"] in ("X", "M")
+            assert e["ph"] in ("X", "M", "s", "f")
             if e["ph"] != "X":
                 continue
             key = (e["pid"], e["tid"])
             assert e["ts"] >= last_ts.get(key, -1.0), "events must be time-ordered per rank"
             assert e["dur"] >= 0.0
             last_ts[key] = e["ts"]
+
+    def test_chrome_trace_flow_events_pair_up(self):
+        t = self._traced_run()
+        doc = chrome_trace(t.tracer)
+        starts = {e["id"]: e for e in doc["traceEvents"] if e["ph"] == "s"}
+        ends = {e["id"]: e for e in doc["traceEvents"] if e["ph"] == "f"}
+        assert starts, "a collective run must emit flow events"
+        assert set(starts) == set(ends)
+        for fid, s in starts.items():
+            f = ends[fid]
+            assert s["cat"] == f["cat"] and s["cat"] in ("collective", "wait")
+            assert f["bp"] == "e"
+        # "parent" nesting never becomes an arrow — it is slice containment.
+        assert all(e["cat"] != "parent" for e in starts.values())
+
+    def test_chrome_trace_byte_stable_without_edges(self):
+        t = Tracer()
+        t.add_span("op", "compute", 1.0, start=0.0)
+        doc = chrome_trace(t)
+        assert all(e["ph"] in ("X", "M") for e in doc["traceEvents"])
 
     def test_chrome_trace_one_thread_per_rank(self):
         t = self._traced_run()
